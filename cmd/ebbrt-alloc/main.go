@@ -1,0 +1,32 @@
+// Command ebbrt-alloc regenerates Figure 3: per-core memory allocation
+// latency (cycles per ten 8-byte alloc/free pairs) versus core count for
+// the EbbRT allocator, a glibc-style single-arena allocator, and a
+// jemalloc-style thread-caching allocator.
+//
+// By default the contention is computed by a deterministic queueing model
+// over the allocators' synchronization structure (this host may have a
+// single CPU); -real benchmarks the actual data structures under real
+// goroutine parallelism, meaningful on many-core hosts.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"ebbrt/internal/experiments"
+)
+
+func main() {
+	real := flag.Bool("real", false, "run real-goroutine benchmark instead of the queueing model")
+	meas := flag.Int("measurements", 0, "measurements per core (0 = default)")
+	flag.Parse()
+	cores := []int{1, 2, 4, 8, 12, 24}
+	fmt.Println("Figure 3: memory allocation microbenchmark (cycles per ten 8B alloc/free pairs)")
+	fmt.Println("(paper: EbbRT linear to 24 cores; glibc 3.8x EbbRT at 24; jemalloc linear, 42% slower)")
+	fmt.Println()
+	if *real {
+		fmt.Print(experiments.FormatFigure3(experiments.Figure3Real(cores, *meas)))
+	} else {
+		fmt.Print(experiments.FormatFigure3(experiments.Figure3(cores, *meas)))
+	}
+}

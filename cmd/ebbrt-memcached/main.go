@@ -1,0 +1,75 @@
+// Command ebbrt-memcached regenerates Figures 5 and 6: memcached mean and
+// 99th-percentile latency as a function of offered throughput, for EbbRT,
+// Linux in a VM, Linux native, and (single-core) OSv, under the
+// mutilate-style Facebook ETC workload.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ebbrt/internal/experiments"
+	"ebbrt/internal/sim"
+	"ebbrt/internal/testbed"
+)
+
+func main() {
+	cores := flag.Int("cores", 1, "server cores (1 = Figure 5, 4 = Figure 6)")
+	store := flag.String("store", "rcu", "key-value store: rcu or locked (ablation)")
+	polling := flag.Bool("polling", true, "adaptive polling (false = ablation)")
+	ratesFlag := flag.String("rates", "", "comma-separated offered loads in RPS (default: per-figure sweep)")
+	durMs := flag.Int("duration", 250, "measurement duration per point (ms)")
+	flag.Parse()
+
+	var rates []float64
+	if *ratesFlag != "" {
+		for _, s := range strings.Split(*ratesFlag, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				fmt.Println("bad rate:", s)
+				return
+			}
+			rates = append(rates, v)
+		}
+	} else if *cores >= 4 {
+		rates = experiments.DefaultRatesFourCore()
+	} else {
+		rates = experiments.DefaultRatesSingleCore()
+	}
+
+	opt := experiments.MemcachedOptions{
+		Cores:          *cores,
+		Store:          *store,
+		DisablePolling: !*polling,
+		Duration:       sim.Time(*durMs) * sim.Millisecond,
+	}
+
+	kinds := []testbed.ServerKind{testbed.EbbRT, testbed.LinuxVM, testbed.LinuxNative}
+	if *cores == 1 {
+		kinds = append(kinds, testbed.OSv) // paper omits OSv from the 4-core figure
+	}
+
+	fig := "Figure 5 (single core)"
+	if *cores >= 4 {
+		fig = "Figure 6 (multicore)"
+	}
+	fmt.Printf("%s: memcached latency vs throughput, ETC workload, pipeline 4, store=%s polling=%v\n",
+		fig, *store, *polling)
+	fmt.Println("(paper @500us p99 SLA, 1 core: EbbRT +58% vs Linux VM, +11.7% vs native; 4 cores: +58% vs VM, -5% vs native)")
+	fmt.Println()
+
+	var series []experiments.MemcachedSeries
+	for _, kind := range kinds {
+		series = append(series, experiments.MemcachedCurve(kind, rates, opt))
+	}
+	fmt.Print(experiments.FormatMemcached(series))
+
+	sla := 500 * sim.Microsecond
+	fmt.Println()
+	fmt.Println("Throughput at 500us p99 SLA:")
+	for _, s := range series {
+		fmt.Printf("  %-14s %12.0f RPS\n", s.System, experiments.SLAThroughput(s.Points, sla))
+	}
+}

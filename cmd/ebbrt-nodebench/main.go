@@ -1,0 +1,17 @@
+// Command ebbrt-nodebench regenerates Figure 7: the V8 benchmark suite
+// (version 7) scores of the node.js port, normalized to Linux, under the
+// managed-runtime substitute.
+package main
+
+import (
+	"fmt"
+
+	"ebbrt/internal/experiments"
+)
+
+func main() {
+	fmt.Println("Figure 7: V8 suite scores normalized to Linux")
+	fmt.Println("(paper: EbbRT wins all; overall +4.09%; Splay +13.9%)")
+	fmt.Println()
+	fmt.Print(experiments.FormatFigure7(experiments.Figure7()))
+}

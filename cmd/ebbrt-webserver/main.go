@@ -1,0 +1,20 @@
+// Command ebbrt-webserver regenerates Table 2: mean and 99th-percentile
+// latency of the node.js webserver (static 148-byte response) under
+// wrk-style moderate load, EbbRT vs Linux.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"ebbrt/internal/experiments"
+)
+
+func main() {
+	rps := flag.Float64("rps", 0, "offered load in RPS (0 = closed loop, as wrk)")
+	flag.Parse()
+	fmt.Println("Table 2: node.js webserver latency")
+	fmt.Println("(paper: EbbRT 90.54/123.00us, Linux 112.83/199.00us mean/p99)")
+	fmt.Println()
+	fmt.Print(experiments.FormatTable2(experiments.Table2(*rps)))
+}

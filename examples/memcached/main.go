@@ -1,0 +1,44 @@
+// Memcached example: the paper's flagship workload (§4.2).
+//
+// It builds the two-machine testbed, serves memcached on a single-core
+// EbbRT backend with the RCU store, drives it with the mutilate-style
+// Facebook ETC workload, and prints the latency profile - then repeats on
+// the Linux-VM baseline for comparison.
+//
+//	go run ./examples/memcached
+package main
+
+import (
+	"fmt"
+
+	"ebbrt"
+	"ebbrt/internal/apps/appnet"
+	"ebbrt/internal/apps/memcached"
+	"ebbrt/internal/event"
+	"ebbrt/internal/load"
+	"ebbrt/internal/sim"
+	"ebbrt/internal/testbed"
+)
+
+func run(kind ebbrt.ServerKind) load.MutilateResult {
+	pair := ebbrt.NewTestbed(kind, 1, 8)
+	srv := memcached.NewServer(memcached.NewRCUStore(), 1)
+	if err := srv.Serve(pair.Server); err != nil {
+		panic(err)
+	}
+	cfg := load.DefaultMutilate(100_000) // 100k RPS offered
+	cfg.Duration = 150 * sim.Millisecond
+	dial := func(c *event.Ctx, cb appnet.Callbacks, onConnect func(*event.Ctx, appnet.Conn)) {
+		pair.Client.Dial(c, testbed.ServerIP, memcached.Port, cb, onConnect)
+	}
+	return load.RunMutilate(pair.Client, dial, srv, cfg)
+}
+
+func main() {
+	fmt.Println("memcached, ETC workload, 100k RPS offered, single core:")
+	for _, kind := range []ebbrt.ServerKind{ebbrt.KindEbbRT, ebbrt.KindLinuxVM} {
+		res := run(kind)
+		fmt.Printf("  %-12s achieved=%8.0f RPS  mean=%6.1fus  p99=%6.1fus\n",
+			kind, res.AchievedRPS, res.Mean.Micros(), res.P99.Micros())
+	}
+}

@@ -1,0 +1,178 @@
+package appnet_test
+
+import (
+	"bytes"
+	"testing"
+
+	"ebbrt/internal/apps/appnet"
+	"ebbrt/internal/event"
+	"ebbrt/internal/iobuf"
+	"ebbrt/internal/sim"
+	"ebbrt/internal/testbed"
+)
+
+// echoPair builds a testbed with an echo server of the given kind.
+func echoPair(t *testing.T, kind testbed.ServerKind) *testbed.Pair {
+	t.Helper()
+	pair := testbed.NewPair(kind, 1, 2)
+	err := pair.Server.Listen(7, func(conn appnet.Conn) appnet.Callbacks {
+		return appnet.Callbacks{
+			OnData: func(c *event.Ctx, conn appnet.Conn, payload *iobuf.IOBuf) {
+				conn.Send(c, iobuf.FromBytes(payload.CopyOut()))
+			},
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pair
+}
+
+func roundTrip(t *testing.T, pair *testbed.Pair, msg []byte) []byte {
+	t.Helper()
+	var got []byte
+	pair.Client.Mgrs()[0].Spawn(func(c *event.Ctx) {
+		pair.Client.Dial(c, testbed.ServerIP, 7, appnet.Callbacks{
+			OnData: func(c *event.Ctx, conn appnet.Conn, payload *iobuf.IOBuf) {
+				got = append(got, payload.CopyOut()...)
+			},
+		}, func(c *event.Ctx, conn appnet.Conn) {
+			conn.Send(c, iobuf.FromBytes(msg))
+		})
+	})
+	pair.K.RunUntil(3 * sim.Second)
+	return got
+}
+
+func TestEchoAcrossAllRuntimes(t *testing.T) {
+	msg := []byte("runtime-independence")
+	for _, kind := range []testbed.ServerKind{testbed.EbbRT, testbed.LinuxVM, testbed.LinuxNative, testbed.OSv} {
+		pair := echoPair(t, kind)
+		if got := roundTrip(t, pair, msg); !bytes.Equal(got, msg) {
+			t.Fatalf("%v echoed %q", kind, got)
+		}
+	}
+}
+
+func TestLargeSendBuffersBeyondWindow(t *testing.T) {
+	// 300 kB far exceeds the 64k TCP window: Conn.Send must buffer and
+	// drain transparently on both runtimes.
+	msg := make([]byte, 300_000)
+	for i := range msg {
+		msg[i] = byte(i * 13)
+	}
+	for _, kind := range []testbed.ServerKind{testbed.EbbRT, testbed.LinuxVM} {
+		pair := echoPair(t, kind)
+		got := roundTrip(t, pair, msg)
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("%v: echoed %d bytes of %d", kind, len(got), len(msg))
+		}
+	}
+}
+
+func TestCloseAfterBufferedSendDelivers(t *testing.T) {
+	pair := testbed.NewPair(testbed.EbbRT, 1, 2)
+	var received []byte
+	serverClosed := false
+	err := pair.Server.Listen(7, func(conn appnet.Conn) appnet.Callbacks {
+		return appnet.Callbacks{
+			OnData: func(c *event.Ctx, conn appnet.Conn, payload *iobuf.IOBuf) {
+				received = append(received, payload.CopyOut()...)
+			},
+			OnClose: func(c *event.Ctx, conn appnet.Conn, err error) { serverClosed = true },
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := make([]byte, 200_000)
+	pair.Client.Mgrs()[0].Spawn(func(c *event.Ctx) {
+		pair.Client.Dial(c, testbed.ServerIP, 7, appnet.Callbacks{},
+			func(c *event.Ctx, conn appnet.Conn) {
+				conn.Send(c, iobuf.Wrap(msg))
+				conn.Close(c) // must defer FIN until the buffer drains
+			})
+	})
+	pair.K.RunUntil(5 * sim.Second)
+	if len(received) != len(msg) {
+		t.Fatalf("received %d of %d after close-behind-send", len(received), len(msg))
+	}
+	if !serverClosed {
+		t.Fatal("server never saw the close")
+	}
+}
+
+func TestDialRefusedReportsClose(t *testing.T) {
+	pair := testbed.NewPair(testbed.EbbRT, 1, 2)
+	gotClose := false
+	var gotErr error
+	pair.Client.Mgrs()[0].Spawn(func(c *event.Ctx) {
+		pair.Client.Dial(c, testbed.ServerIP, 9999, appnet.Callbacks{
+			OnClose: func(c *event.Ctx, conn appnet.Conn, err error) {
+				gotClose = true
+				gotErr = err
+			},
+		}, func(c *event.Ctx, conn appnet.Conn) {
+			t.Error("connected to closed port")
+		})
+	})
+	pair.K.RunUntil(2 * sim.Second)
+	if !gotClose || gotErr == nil {
+		t.Fatalf("refused dial: close=%v err=%v", gotClose, gotErr)
+	}
+}
+
+func TestRuntimeNames(t *testing.T) {
+	for _, tc := range []struct {
+		kind testbed.ServerKind
+		want string
+	}{
+		{testbed.EbbRT, "EbbRT"},
+		{testbed.LinuxVM, "Linux"},
+		{testbed.OSv, "OSv"},
+	} {
+		pair := testbed.NewPair(tc.kind, 1, 1)
+		if got := pair.Server.Name(); got != tc.want {
+			t.Fatalf("kind %v name %q, want %q", tc.kind, got, tc.want)
+		}
+	}
+}
+
+func TestGPOSDeliveryIsDeferredAndBatched(t *testing.T) {
+	// On the GPOS runtime the app handler must NOT run in the softirq
+	// event that received the packet: there is a wakeup delay.
+	pair := testbed.NewPair(testbed.LinuxVM, 1, 2)
+	var deliveredAt sim.Time
+	err := pair.Server.Listen(7, func(conn appnet.Conn) appnet.Callbacks {
+		return appnet.Callbacks{
+			OnData: func(c *event.Ctx, conn appnet.Conn, payload *iobuf.IOBuf) {
+				deliveredAt = c.Now()
+				conn.Send(c, iobuf.FromBytes(payload.CopyOut()))
+			},
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ebbPair := echoPair(t, testbed.EbbRT)
+	msg := []byte("latency-probe")
+	gposStart := pair.K.Now()
+	_ = roundTrip(t, pair, msg)
+	gposRTT := deliveredAt - gposStart
+	ebbStart := ebbPair.K.Now()
+	var ebbDone sim.Time
+	ebbPair.Client.Mgrs()[0].Spawn(func(c *event.Ctx) {
+		ebbPair.Client.Dial(c, testbed.ServerIP, 7, appnet.Callbacks{
+			OnData: func(c *event.Ctx, conn appnet.Conn, payload *iobuf.IOBuf) {
+				ebbDone = c.Now()
+			},
+		}, func(c *event.Ctx, conn appnet.Conn) {
+			conn.Send(c, iobuf.FromBytes(msg))
+		})
+	})
+	ebbPair.K.RunUntil(1 * sim.Second)
+	ebbRTT := ebbDone - ebbStart
+	if gposRTT <= ebbRTT/2 {
+		t.Fatalf("GPOS one-way %v implausibly fast vs EbbRT RTT %v", gposRTT, ebbRTT)
+	}
+}

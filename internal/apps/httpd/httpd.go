@@ -1,0 +1,116 @@
+// Package httpd is the node.js webserver workload of paper §4.3 (Table 2):
+// an event-driven HTTP server answering every GET with a small static
+// response totaling 148 bytes, its handler executing inside the managed
+// runtime (modelled as a fixed JavaScript execution cost per request).
+package httpd
+
+import (
+	"bytes"
+	"fmt"
+
+	"ebbrt/internal/apps/appnet"
+	"ebbrt/internal/event"
+	"ebbrt/internal/iobuf"
+	"ebbrt/internal/sim"
+)
+
+// handlerSeed makes the per-request jitter deterministic per server.
+const handlerSeed = 0xeb
+
+// Port is the webserver port.
+const Port = 8080
+
+// Response is the static 148-byte HTTP response the paper's webserver
+// returns (headers plus a small body).
+var Response = buildResponse()
+
+func buildResponse() []byte {
+	body := "Hello World\n"
+	head := fmt.Sprintf("HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\nContent-Length: %d\r\nConnection: keep-alive\r\nServer: ebbrt-node\r\n", len(body))
+	resp := head + pad(148-len(head)-len(body)-4) + "\r\n\r\n" + body
+	return []byte(resp)
+}
+
+// pad emits an X-Pad header filler so the response totals exactly 148 B.
+func pad(n int) string {
+	if n <= 8 {
+		return ""
+	}
+	return "X-Pad: " + string(bytes.Repeat([]byte{'x'}, n-9)) + "\r\n"
+}
+
+// Server is the webserver instance.
+type Server struct {
+	// HandlerCPU is the JavaScript handler execution cost per request
+	// (V8 running the http-module callback).
+	HandlerCPU sim.Time
+	// HandlerJitterMean adds an exponentially distributed per-request
+	// cost, modelling allocation and incremental-GC variation in the
+	// managed runtime (deterministic seed).
+	HandlerJitterMean sim.Time
+	// Requests counts requests served.
+	Requests uint64
+
+	rng *sim.Rng
+}
+
+// NewServer returns a server with the calibrated node.js handler cost.
+func NewServer() *Server {
+	return &Server{
+		HandlerCPU:        73 * sim.Microsecond,
+		HandlerJitterMean: 9 * sim.Microsecond,
+		rng:               sim.NewRng(handlerSeed),
+	}
+}
+
+// handlerCost samples the per-request execution cost.
+func (s *Server) handlerCost() sim.Time {
+	if s.HandlerJitterMean == 0 {
+		return s.HandlerCPU
+	}
+	return s.HandlerCPU + sim.Time(s.rng.Exp(float64(s.HandlerJitterMean)))
+}
+
+// Serve starts the server on rt.
+func (s *Server) Serve(rt appnet.Runtime) error {
+	return rt.Listen(Port, func(conn appnet.Conn) appnet.Callbacks {
+		hc := &httpConn{srv: s}
+		return appnet.Callbacks{
+			OnData: func(c *event.Ctx, conn appnet.Conn, payload *iobuf.IOBuf) {
+				hc.onData(c, conn, payload)
+			},
+		}
+	})
+}
+
+// httpConn parses pipelined GET requests off the stream.
+type httpConn struct {
+	srv *Server
+	rx  []byte
+}
+
+func (hc *httpConn) onData(c *event.Ctx, conn appnet.Conn, payload *iobuf.IOBuf) {
+	hc.rx = append(hc.rx, payload.CopyOut()...)
+	var resp []byte
+	for {
+		idx := bytes.Index(hc.rx, []byte("\r\n\r\n"))
+		if idx < 0 {
+			break
+		}
+		req := hc.rx[:idx]
+		hc.rx = hc.rx[idx+4:]
+		if !bytes.HasPrefix(req, []byte("GET ")) {
+			conn.Close(c)
+			return
+		}
+		hc.srv.Requests++
+		c.Charge(hc.srv.handlerCost())
+		resp = append(resp, Response...)
+	}
+	if len(resp) > 0 {
+		conn.Send(c, iobuf.Wrap(resp))
+	}
+}
+
+// Request is the canonical benchmark request.
+var Request = []byte("GET / HTTP/1.1\r\nHost: bench\r\n\r\n")

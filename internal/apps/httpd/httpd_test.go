@@ -1,0 +1,85 @@
+package httpd_test
+
+import (
+	"bytes"
+	"testing"
+
+	"ebbrt/internal/apps/appnet"
+	"ebbrt/internal/apps/httpd"
+	"ebbrt/internal/event"
+	"ebbrt/internal/iobuf"
+	"ebbrt/internal/sim"
+	"ebbrt/internal/testbed"
+)
+
+func TestResponseExactly148Bytes(t *testing.T) {
+	if len(httpd.Response) != 148 {
+		t.Fatalf("response %d bytes, want 148 (paper Table 2 workload)", len(httpd.Response))
+	}
+	if !bytes.HasPrefix(httpd.Response, []byte("HTTP/1.1 200 OK\r\n")) {
+		t.Fatal("response is not a 200")
+	}
+	if !bytes.Contains(httpd.Response, []byte("\r\n\r\n")) {
+		t.Fatal("response missing header terminator")
+	}
+}
+
+func exchange(t *testing.T, raw [][]byte) []byte {
+	t.Helper()
+	pair := testbed.NewPair(testbed.EbbRT, 1, 2)
+	srv := httpd.NewServer()
+	srv.HandlerCPU = 1 * sim.Microsecond // keep the test fast
+	if err := srv.Serve(pair.Server); err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	pair.Client.Mgrs()[0].Spawn(func(c *event.Ctx) {
+		pair.Client.Dial(c, testbed.ServerIP, httpd.Port, appnet.Callbacks{
+			OnData: func(c *event.Ctx, conn appnet.Conn, payload *iobuf.IOBuf) {
+				got = append(got, payload.CopyOut()...)
+			},
+		}, func(c *event.Ctx, conn appnet.Conn) {
+			for _, r := range raw {
+				conn.Send(c, iobuf.Wrap(r))
+			}
+		})
+	})
+	pair.K.RunUntil(100 * sim.Millisecond)
+	return got
+}
+
+func TestServesGET(t *testing.T) {
+	got := exchange(t, [][]byte{httpd.Request})
+	if !bytes.Equal(got, httpd.Response) {
+		t.Fatalf("got %d bytes, want the canonical response", len(got))
+	}
+}
+
+func TestPipelinedGETs(t *testing.T) {
+	got := exchange(t, [][]byte{append(append([]byte{}, httpd.Request...), httpd.Request...)})
+	if len(got) != 2*len(httpd.Response) {
+		t.Fatalf("pipelined: got %d bytes, want %d", len(got), 2*len(httpd.Response))
+	}
+}
+
+func TestRequestSplitAcrossSegments(t *testing.T) {
+	req := httpd.Request
+	got := exchange(t, [][]byte{req[:5], req[5:11], req[11:]})
+	if !bytes.Equal(got, httpd.Response) {
+		t.Fatal("fragmented request not reassembled")
+	}
+}
+
+func TestNonGETClosesConnection(t *testing.T) {
+	got := exchange(t, [][]byte{[]byte("POST / HTTP/1.1\r\n\r\n")})
+	if len(got) != 0 {
+		t.Fatalf("non-GET produced %d bytes", len(got))
+	}
+}
+
+func TestHandlerJitterDeterministic(t *testing.T) {
+	a, b := httpd.NewServer(), httpd.NewServer()
+	if a.HandlerCPU != b.HandlerCPU {
+		t.Fatal("configs differ")
+	}
+}

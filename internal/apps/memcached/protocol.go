@@ -1,0 +1,127 @@
+// Package memcached re-implements memcached directly against the EbbRT
+// interfaces (paper §4.2): a multi-core key-value server speaking the
+// standard memcached binary protocol, storing pairs in an RCU hash table,
+// handling each request synchronously from the network stack.
+//
+// The same server logic runs over the GPOS baseline through the appnet
+// abstraction, which is how Figures 5 and 6 compare systems.
+package memcached
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary protocol magics.
+const (
+	MagicRequest  = 0x80
+	MagicResponse = 0x81
+)
+
+// Opcodes used by the mutilate-style workload.
+const (
+	OpGet    = 0x00
+	OpSet    = 0x01
+	OpDelete = 0x04
+	OpNoop   = 0x0a
+	OpGetQ   = 0x09
+	OpSetQ   = 0x11
+)
+
+// Response status codes.
+const (
+	StatusOK          = 0x0000
+	StatusKeyNotFound = 0x0001
+	StatusUnknownCmd  = 0x0081
+)
+
+// HeaderLen is the fixed binary-protocol header size.
+const HeaderLen = 24
+
+// Header is the binary protocol packet header (request or response).
+type Header struct {
+	Magic     byte
+	Opcode    byte
+	KeyLen    uint16
+	ExtrasLen byte
+	Status    uint16 // vbucket id in requests
+	BodyLen   uint32 // total body: extras + key + value
+	Opaque    uint32
+	CAS       uint64
+}
+
+// ParseHeader decodes a 24-byte header.
+func ParseHeader(b []byte) (Header, error) {
+	if len(b) < HeaderLen {
+		return Header{}, fmt.Errorf("memcached: short header (%d)", len(b))
+	}
+	h := Header{
+		Magic:     b[0],
+		Opcode:    b[1],
+		KeyLen:    binary.BigEndian.Uint16(b[2:4]),
+		ExtrasLen: b[4],
+		Status:    binary.BigEndian.Uint16(b[6:8]),
+		BodyLen:   binary.BigEndian.Uint32(b[8:12]),
+		Opaque:    binary.BigEndian.Uint32(b[12:16]),
+		CAS:       binary.BigEndian.Uint64(b[16:24]),
+	}
+	if int(h.KeyLen)+int(h.ExtrasLen) > int(h.BodyLen) {
+		return Header{}, fmt.Errorf("memcached: inconsistent lengths key=%d extras=%d body=%d",
+			h.KeyLen, h.ExtrasLen, h.BodyLen)
+	}
+	return h, nil
+}
+
+// WriteHeader encodes h into b (at least HeaderLen bytes).
+func WriteHeader(b []byte, h Header) {
+	b[0] = h.Magic
+	b[1] = h.Opcode
+	binary.BigEndian.PutUint16(b[2:4], h.KeyLen)
+	b[4] = h.ExtrasLen
+	b[5] = 0 // data type
+	binary.BigEndian.PutUint16(b[6:8], h.Status)
+	binary.BigEndian.PutUint32(b[8:12], h.BodyLen)
+	binary.BigEndian.PutUint32(b[12:16], h.Opaque)
+	binary.BigEndian.PutUint64(b[16:24], h.CAS)
+}
+
+// BuildGet encodes a GET request.
+func BuildGet(key []byte, opaque uint32) []byte {
+	b := make([]byte, HeaderLen+len(key))
+	WriteHeader(b, Header{
+		Magic: MagicRequest, Opcode: OpGet,
+		KeyLen: uint16(len(key)), BodyLen: uint32(len(key)), Opaque: opaque,
+	})
+	copy(b[HeaderLen:], key)
+	return b
+}
+
+// BuildSet encodes a SET request with flags and zero expiry.
+func BuildSet(key, value []byte, flags uint32, opaque uint32) []byte {
+	body := 8 + len(key) + len(value)
+	b := make([]byte, HeaderLen+body)
+	WriteHeader(b, Header{
+		Magic: MagicRequest, Opcode: OpSet,
+		KeyLen: uint16(len(key)), ExtrasLen: 8,
+		BodyLen: uint32(body), Opaque: opaque,
+	})
+	binary.BigEndian.PutUint32(b[HeaderLen:], flags)
+	binary.BigEndian.PutUint32(b[HeaderLen+4:], 0)
+	copy(b[HeaderLen+8:], key)
+	copy(b[HeaderLen+8+len(key):], value)
+	return b
+}
+
+// BuildDelete encodes a DELETE request.
+func BuildDelete(key []byte, opaque uint32) []byte {
+	b := make([]byte, HeaderLen+len(key))
+	WriteHeader(b, Header{
+		Magic: MagicRequest, Opcode: OpDelete,
+		KeyLen: uint16(len(key)), BodyLen: uint32(len(key)), Opaque: opaque,
+	})
+	copy(b[HeaderLen:], key)
+	return b
+}
+
+// GetResponseExtrasLen is the flags field carried on GET responses.
+const GetResponseExtrasLen = 4

@@ -1,0 +1,113 @@
+package memcached
+
+import (
+	"sync"
+
+	"ebbrt/internal/rcu"
+	"ebbrt/internal/sim"
+)
+
+// Entry is one stored key-value pair.
+type Entry struct {
+	Value []byte
+	Flags uint32
+}
+
+// Store abstracts the key-value backing so the harness can compare the RCU
+// table against a conventional locked table (the paper attributes
+// memcached's poor multicore scaling to lock contention, §4.2).
+type Store interface {
+	Get(key string) (*Entry, bool)
+	Set(key string, e *Entry)
+	Delete(key string) bool
+	Len() int
+	// OpCost reports the extra virtual CPU charged per operation when
+	// invoked with the given number of actively serving cores (models
+	// synchronization cost the structure imposes).
+	OpCost(activeCores int) sim.Time
+	Name() string
+}
+
+// RCUStore stores entries in the RCU hash table: reads are lock-free, so
+// the per-operation cost does not grow with core count.
+type RCUStore struct {
+	t *rcu.Table[string, *Entry]
+}
+
+// NewRCUStore creates the default store.
+func NewRCUStore() *RCUStore {
+	return &RCUStore{t: rcu.NewTable[string, *Entry](rcu.StringHash, 1024)}
+}
+
+// Name implements Store.
+func (s *RCUStore) Name() string { return "rcu" }
+
+// Get implements Store.
+func (s *RCUStore) Get(key string) (*Entry, bool) { return s.t.Get(key) }
+
+// Set implements Store.
+func (s *RCUStore) Set(key string, e *Entry) { s.t.Put(key, e) }
+
+// Delete implements Store.
+func (s *RCUStore) Delete(key string) bool { return s.t.Delete(key) }
+
+// Len implements Store.
+func (s *RCUStore) Len() int { return s.t.Len() }
+
+// OpCost implements Store: hash plus unsynchronized traversal.
+func (s *RCUStore) OpCost(activeCores int) sim.Time { return 60 * sim.Nanosecond }
+
+// LockedStore is the conventional globally-locked table (stock memcached's
+// cache_lock), for the ablation benchmark: per-op cost includes the atomic
+// and grows with contention.
+type LockedStore struct {
+	mu sync.Mutex
+	m  map[string]*Entry
+}
+
+// NewLockedStore creates the ablation store.
+func NewLockedStore() *LockedStore { return &LockedStore{m: map[string]*Entry{}} }
+
+// Name implements Store.
+func (s *LockedStore) Name() string { return "locked" }
+
+// Get implements Store.
+func (s *LockedStore) Get(key string) (*Entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.m[key]
+	return e, ok
+}
+
+// Set implements Store.
+func (s *LockedStore) Set(key string, e *Entry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[key] = e
+}
+
+// Delete implements Store.
+func (s *LockedStore) Delete(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.m[key]
+	delete(s.m, key)
+	return ok
+}
+
+// Len implements Store.
+func (s *LockedStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+// OpCost implements Store: an uncontended atomic plus contention that
+// scales with the number of cores hammering the one lock.
+func (s *LockedStore) OpCost(activeCores int) sim.Time {
+	base := 120 * sim.Nanosecond
+	if activeCores > 1 {
+		base += sim.Time(activeCores) * 90 * sim.Nanosecond
+	}
+	return base
+}

@@ -1,0 +1,241 @@
+// Package netpipe ports the NetPIPE ping-pong benchmark (paper §4.1.3,
+// Figure 4): the client sends a fixed-size message, the server echoes it
+// back after receiving it completely, and the harness reports one-way
+// latency and goodput as a function of message size.
+package netpipe
+
+import (
+	"fmt"
+
+	"ebbrt/internal/apps/appnet"
+	"ebbrt/internal/event"
+	"ebbrt/internal/iobuf"
+	"ebbrt/internal/sim"
+	"ebbrt/internal/testbed"
+)
+
+// Port is the NetPIPE server port.
+const Port = 5002
+
+// Point is one measurement of the Figure 4 curve.
+type Point struct {
+	Size        int
+	OneWay      sim.Time
+	GoodputMbps float64
+}
+
+// Serve installs the echo-on-complete-message server.
+func Serve(rt appnet.Runtime, sizes []int) error {
+	return rt.Listen(Port, func(conn appnet.Conn) appnet.Callbacks {
+		s := &serverConn{expect: -1}
+		return appnet.Callbacks{
+			OnData: func(c *event.Ctx, conn appnet.Conn, payload *iobuf.IOBuf) {
+				s.onData(c, conn, payload)
+			},
+		}
+	})
+}
+
+// serverConn accumulates one message and echoes it. The message size is
+// carried in the first 4 bytes of each message (NetPIPE peers agree on the
+// schedule; an explicit length keeps the port self-describing).
+type serverConn struct {
+	expect int // -1: awaiting header
+	have   int
+	hdr    []byte
+}
+
+func (s *serverConn) onData(c *event.Ctx, conn appnet.Conn, payload *iobuf.IOBuf) {
+	n := payload.ComputeChainDataLength()
+	r := payload.Reader()
+	for n > 0 {
+		if s.expect < 0 {
+			// Collect the 4-byte length header (may straddle deliveries).
+			need := 4 - len(s.hdr)
+			take := need
+			if take > n {
+				take = n
+			}
+			b, _ := r.ReadBytes(take)
+			s.hdr = append(s.hdr, b...)
+			n -= take
+			if len(s.hdr) < 4 {
+				return
+			}
+			s.expect = int(uint32(s.hdr[0])<<24 | uint32(s.hdr[1])<<16 | uint32(s.hdr[2])<<8 | uint32(s.hdr[3]))
+			s.hdr = s.hdr[:0]
+			s.have = 0
+		}
+		take := s.expect - s.have
+		if take > n {
+			take = n
+		}
+		if take > 0 {
+			_ = r.Skip(take)
+			s.have += take
+			n -= take
+		}
+		if s.have == s.expect {
+			// Complete message: echo it (header + body).
+			size := s.expect
+			s.expect = -1
+			s.have = 0
+			conn.Send(c, buildMessage(size))
+		}
+	}
+}
+
+// buildMessage creates a length-prefixed message of the given body size.
+func buildMessage(size int) *iobuf.IOBuf {
+	buf := iobuf.New(4 + size)
+	hdr := buf.Append(4)
+	hdr[0], hdr[1], hdr[2], hdr[3] = byte(size>>24), byte(size>>16), byte(size>>8), byte(size)
+	body := buf.Append(size)
+	for i := range body {
+		body[i] = byte(i)
+	}
+	return buf
+}
+
+// client drives the ping-pong schedule.
+type client struct {
+	conn    appnet.Conn
+	sizes   []int
+	reps    int
+	warmup  int
+	sizeIdx int
+	rep     int
+	expect  int
+	have    int
+	hdr     []byte
+	sentAt  sim.Time
+	rec     []*sim.Recorder
+	done    bool
+}
+
+func (cl *client) nextPing(c *event.Ctx) {
+	if cl.sizeIdx >= len(cl.sizes) {
+		cl.done = true
+		cl.conn.Close(c)
+		return
+	}
+	size := cl.sizes[cl.sizeIdx]
+	cl.expect = size
+	cl.have = 0
+	cl.sentAt = c.Now()
+	cl.conn.Send(c, buildMessage(size))
+}
+
+func (cl *client) onData(c *event.Ctx, payload *iobuf.IOBuf) {
+	n := payload.ComputeChainDataLength()
+	r := payload.Reader()
+	for n > 0 {
+		if len(cl.hdr) < 4 {
+			need := 4 - len(cl.hdr)
+			take := need
+			if take > n {
+				take = n
+			}
+			b, _ := r.ReadBytes(take)
+			cl.hdr = append(cl.hdr, b...)
+			n -= take
+			if len(cl.hdr) < 4 {
+				return
+			}
+		}
+		take := cl.expect - cl.have
+		if take > n {
+			take = n
+		}
+		if take > 0 {
+			_ = r.Skip(take)
+			cl.have += take
+			n -= take
+		}
+		if cl.have == cl.expect {
+			rtt := c.Now() - cl.sentAt
+			cl.hdr = cl.hdr[:0]
+			if cl.rep >= cl.warmup {
+				cl.rec[cl.sizeIdx].Add(rtt / 2)
+			}
+			cl.rep++
+			if cl.rep == cl.reps+cl.warmup {
+				cl.rep = 0
+				cl.sizeIdx++
+			}
+			cl.nextPing(c)
+		}
+	}
+}
+
+// Run executes the NetPIPE sweep on a symmetric testbed of the given kind
+// and returns one point per message size.
+func Run(kind testbed.ServerKind, sizes []int, reps int) ([]Point, error) {
+	return RunWithStack(kind, sizes, reps, 0)
+}
+
+// RunWithStack is Run with the zero-copy ablation knob: a non-zero
+// forceCopyPerByte (ns/B) makes the native stack pay an application-
+// boundary copy in each direction, like a conventional socket layer.
+func RunWithStack(kind testbed.ServerKind, sizes []int, reps int, forceCopyPerByte float64) ([]Point, error) {
+	pair := testbed.NewSymmetricPair(kind, 1)
+	if forceCopyPerByte > 0 {
+		for _, rt := range []appnet.Runtime{pair.Client, pair.Server} {
+			if native, ok := rt.(*appnet.Native); ok {
+				native.Stack.Cfg.ForceCopyPerByte = forceCopyPerByte
+			}
+		}
+	}
+	if err := Serve(pair.Server, sizes); err != nil {
+		return nil, err
+	}
+	cl := &client{
+		sizes:  sizes,
+		reps:   reps,
+		warmup: 2,
+		rec:    make([]*sim.Recorder, len(sizes)),
+	}
+	for i := range cl.rec {
+		cl.rec[i] = sim.NewRecorder(reps)
+	}
+	var dialErr error
+	pair.Client.Mgrs()[0].Spawn(func(c *event.Ctx) {
+		pair.Client.Dial(c, testbed.ServerIP, Port, appnet.Callbacks{
+			OnData: func(c *event.Ctx, conn appnet.Conn, payload *iobuf.IOBuf) {
+				cl.onData(c, payload)
+			},
+			OnClose: func(c *event.Ctx, conn appnet.Conn, err error) {
+				if err != nil && !cl.done {
+					dialErr = err
+				}
+			},
+		}, func(c *event.Ctx, conn appnet.Conn) {
+			cl.conn = conn
+			cl.nextPing(c)
+		})
+	})
+	// Generous bound: the largest size at the slowest profile.
+	pair.K.RunUntil(60 * sim.Second)
+	if dialErr != nil {
+		return nil, dialErr
+	}
+	if !cl.done {
+		return nil, fmt.Errorf("netpipe: sweep did not finish (size index %d/%d)", cl.sizeIdx, len(sizes))
+	}
+	points := make([]Point, len(sizes))
+	for i, size := range sizes {
+		oneWay := cl.rec[i].Mean()
+		points[i] = Point{
+			Size:        size,
+			OneWay:      oneWay,
+			GoodputMbps: float64(size*8) / (float64(oneWay) / 1e9) / 1e6,
+		}
+	}
+	return points, nil
+}
+
+// DefaultSizes is the Figure 4 sweep: 64 B through 800 kB.
+func DefaultSizes() []int {
+	return []int{64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768,
+		65536, 131072, 196608, 262144, 393216, 524288, 655360, 786432}
+}

@@ -1,0 +1,76 @@
+package netpipe
+
+import (
+	"testing"
+
+	"ebbrt/internal/sim"
+	"ebbrt/internal/testbed"
+)
+
+func TestSmallMessageLatencyOrdering(t *testing.T) {
+	sizes := []int{64}
+	ebb, err := Run(testbed.EbbRT, sizes, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin, err := Run(testbed.LinuxVM, sizes, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ebb[0].OneWay <= 0 || lin[0].OneWay <= 0 {
+		t.Fatal("non-positive latency")
+	}
+	// Paper: 9.7us (EbbRT) vs 15.9us (Linux) one way for 64B. The shape
+	// requirement: EbbRT clearly faster.
+	if ebb[0].OneWay >= lin[0].OneWay {
+		t.Fatalf("EbbRT %v should beat Linux %v at 64B", ebb[0].OneWay, lin[0].OneWay)
+	}
+	t.Logf("64B one-way: EbbRT=%v Linux=%v", ebb[0].OneWay, lin[0].OneWay)
+}
+
+func TestLargeMessageGoodputOrdering(t *testing.T) {
+	sizes := []int{262144}
+	ebb, err := Run(testbed.EbbRT, sizes, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin, err := Run(testbed.LinuxVM, sizes, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ebb[0].GoodputMbps <= lin[0].GoodputMbps {
+		t.Fatalf("EbbRT %.0f Mbps should beat Linux %.0f Mbps at 256kB",
+			ebb[0].GoodputMbps, lin[0].GoodputMbps)
+	}
+	if ebb[0].GoodputMbps > 10000 {
+		t.Fatalf("goodput %.0f Mbps exceeds the 10GbE line rate", ebb[0].GoodputMbps)
+	}
+	t.Logf("256kB goodput: EbbRT=%.0f Linux=%.0f Mbps", ebb[0].GoodputMbps, lin[0].GoodputMbps)
+}
+
+func TestGoodputMonotoneInSize(t *testing.T) {
+	sizes := []int{64, 1024, 16384, 131072}
+	pts, err := Run(testbed.EbbRT, sizes, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].GoodputMbps <= pts[i-1].GoodputMbps {
+			t.Fatalf("goodput not increasing with size: %+v", pts)
+		}
+	}
+}
+
+func TestEchoCorrectAcrossProfiles(t *testing.T) {
+	for _, kind := range []testbed.ServerKind{testbed.EbbRT, testbed.LinuxVM, testbed.OSv} {
+		pts, err := Run(kind, []int{64, 4096}, 3)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		for _, p := range pts {
+			if p.OneWay <= 0 || p.OneWay > sim.Time(100*sim.Millisecond) {
+				t.Fatalf("%v: implausible latency %v for %d B", kind, p.OneWay, p.Size)
+			}
+		}
+	}
+}

@@ -1,0 +1,331 @@
+// Package event implements EbbRT's non-preemptive event-driven execution
+// environment (paper §2.3, §3.2).
+//
+// One event loop runs per core. A registered handler is invoked with
+// interrupts disabled and runs to completion without preemption. When an
+// event completes the manager (1) opens a brief interrupt window and
+// dispatches any pending hardware interrupts, (2) dispatches one synthetic
+// (Spawned) event, (3) invokes all IdleHandlers, and (4) enables interrupts
+// and halts - restarting the loop whenever any step invoked a handler. This
+// gives hardware interrupts and synthetic events priority over repeatedly
+// invoked idle handlers, which is what lets device drivers implement
+// adaptive polling.
+//
+// Handlers account for the virtual CPU time they consume via Ctx.Charge;
+// the core is busy for that long before the loop continues. The paper's
+// save/restore event mechanism (used to give blocking semantics on top of
+// events) is implemented with parked goroutines that the deterministic
+// simulation kernel resumes one at a time.
+package event
+
+import (
+	"fmt"
+
+	"ebbrt/internal/machine"
+	"ebbrt/internal/sim"
+)
+
+// Reserved interrupt vectors.
+const (
+	// VecIPI is the inter-processor interrupt used to kick a halted core
+	// when another core spawns an event on it.
+	VecIPI = 0
+	// VecTimer is the per-core timer interrupt.
+	VecTimer = 1
+	// vecFirstAllocatable is the first vector handed to devices.
+	vecFirstAllocatable = 32
+)
+
+// Costs are the runtime-level costs of the native environment. They are
+// deliberately small: the paper's point is that the path from interrupt to
+// application is short.
+type Costs struct {
+	// EventDispatch is charged per handler invocation (loop bookkeeping,
+	// branch to handler).
+	EventDispatch sim.Time
+	// IdlePoll is the minimum charge for one pass over the idle handlers,
+	// bounding the virtual-time cost of a polling spin.
+	IdlePoll sim.Time
+	// ContextSave is charged when an event saves its state to block, and
+	// again when it is reactivated (paper §3.2 save/restore).
+	ContextSave sim.Time
+}
+
+// DefaultCosts returns the calibrated native runtime costs.
+func DefaultCosts() Costs {
+	return Costs{
+		EventDispatch: 60 * sim.Nanosecond,
+		IdlePoll:      80 * sim.Nanosecond,
+		ContextSave:   120 * sim.Nanosecond,
+	}
+}
+
+// Handler is an event handler. It runs non-preemptively on one core.
+type Handler func(*Ctx)
+
+// synthItem is one entry of the synthetic event queue: either a fresh
+// spawned handler or the resumption of a blocked event context.
+type synthItem struct {
+	fn  Handler
+	act *activation
+}
+
+// Manager is the per-core EventManager Ebb.
+type Manager struct {
+	core  *machine.Core
+	k     *sim.Kernel
+	costs Costs
+
+	handlers map[int]Handler
+	nextVec  int
+
+	synth      []synthItem
+	idle       []*IdleHandler
+	timerReady []Handler
+
+	pool []*activation
+
+	// Dispatched counts handler invocations, for tests and stats.
+	Dispatched uint64
+}
+
+// IdleHandler is a registered idle callback; keep the pointer to remove it.
+type IdleHandler struct {
+	fn      Handler
+	removed bool
+}
+
+// NewManager creates the event manager for a core and installs itself as
+// the core's interrupt dispatcher. The core starts halted with interrupts
+// enabled, awaiting its first event.
+func NewManager(core *machine.Core, costs Costs) *Manager {
+	m := &Manager{
+		core:     core,
+		k:        core.M.K,
+		costs:    costs,
+		handlers: map[int]Handler{},
+		nextVec:  vecFirstAllocatable,
+	}
+	m.handlers[VecIPI] = func(*Ctx) {}
+	m.handlers[VecTimer] = func(c *Ctx) {
+		ready := m.timerReady
+		m.timerReady = nil
+		for _, fn := range ready {
+			fn(c)
+		}
+	}
+	core.SetDispatcher(m.onIRQ)
+	core.EnableInterrupts()
+	core.Halt()
+	return m
+}
+
+// Core returns the core this manager drives.
+func (m *Manager) Core() *machine.Core { return m.core }
+
+// Kernel returns the simulation kernel.
+func (m *Manager) Kernel() *sim.Kernel { return m.k }
+
+// AllocateVector allocates a fresh interrupt vector bound to h, the
+// interface device drivers use (paper §3.2).
+func (m *Manager) AllocateVector(h Handler) int {
+	v := m.nextVec
+	m.nextVec++
+	m.handlers[v] = h
+	return v
+}
+
+// Bind replaces the handler for an existing vector.
+func (m *Manager) Bind(vec int, h Handler) { m.handlers[vec] = h }
+
+// Spawn queues fn to run as a synthetic event on this core. Spawned events
+// run once; for recurring work install an IdleHandler.
+func (m *Manager) Spawn(fn Handler) {
+	m.synth = append(m.synth, synthItem{fn: fn})
+	m.kick()
+}
+
+// After schedules fn to run as a timer event after d of virtual time.
+func (m *Manager) After(d sim.Time, fn Handler) *sim.Event {
+	return m.k.After(d, func() {
+		m.timerReady = append(m.timerReady, fn)
+		m.core.RaiseIRQ(VecTimer)
+	})
+}
+
+// AddIdleHandler installs fn to be invoked on every pass of the event loop
+// when the core would otherwise halt - the polling building block.
+func (m *Manager) AddIdleHandler(fn Handler) *IdleHandler {
+	ih := &IdleHandler{fn: fn}
+	m.idle = append(m.idle, ih)
+	m.kick()
+	return ih
+}
+
+// RemoveIdleHandler uninstalls a previously added idle handler.
+func (m *Manager) RemoveIdleHandler(ih *IdleHandler) {
+	ih.removed = true
+	for i, cur := range m.idle {
+		if cur == ih {
+			m.idle = append(m.idle[:i], m.idle[i+1:]...)
+			return
+		}
+	}
+}
+
+// IdleHandlerCount reports installed idle handlers (drivers use it to tell
+// whether they are in polling mode; tests too).
+func (m *Manager) IdleHandlerCount() int { return len(m.idle) }
+
+// kick wakes a halted core so the loop notices queued synthetic work.
+func (m *Manager) kick() {
+	if m.core.Halted() {
+		m.core.RaiseIRQ(VecIPI)
+	}
+}
+
+// onIRQ is the interrupt entry point: the core was halted with interrupts
+// enabled and vector vec fired.
+func (m *Manager) onIRQ(vec int) {
+	m.core.DisableInterrupts()
+	m.runHandler(vec, m.core.M.Cfg.Costs.InterruptEntry)
+}
+
+// runHandler executes the handler for vec, charging base cost plus whatever
+// the handler itself charges, then continues the loop at completion time.
+func (m *Manager) runHandler(vec int, base sim.Time) {
+	h, ok := m.handlers[vec]
+	if !ok {
+		panic(fmt.Sprintf("event: core %d received unbound vector %d", m.core.ID, vec))
+	}
+	m.exec(h, base+m.costs.EventDispatch)
+}
+
+// exec runs fn on an activation goroutine, then schedules the next loop
+// step after the charged time. If fn blocks, the loop continues at the
+// charge accumulated so far and the activation resumes later.
+func (m *Manager) exec(fn Handler, base sim.Time) {
+	m.Dispatched++
+	act := m.getActivation()
+	ctx := &Ctx{m: m, act: act, charge: base}
+	act.ctx = ctx
+	act.in <- fn
+	m.awaitActivation(act)
+}
+
+// resumeActivation continues a previously blocked activation as an event.
+func (m *Manager) resumeActivation(act *activation) {
+	m.Dispatched++
+	ctx := act.ctx
+	ctx.charge = m.costs.EventDispatch + m.costs.ContextSave
+	act.resume <- struct{}{}
+	m.awaitActivation(act)
+}
+
+// awaitActivation waits for the activation to finish or block, then
+// schedules the next loop step at the event's completion time.
+func (m *Manager) awaitActivation(act *activation) {
+	st := <-act.state
+	ctx := act.ctx
+	switch st {
+	case actDone:
+		m.putActivation(act)
+	case actBlocked:
+		ctx.charge += m.costs.ContextSave
+	}
+	m.k.After(ctx.charge, m.process)
+}
+
+// process is the event loop: it runs each time the core finishes an event.
+func (m *Manager) process() {
+	// (1) pending hardware interrupts get priority.
+	if m.core.HasPending() {
+		p := m.core.TakePending()
+		vec := p[0]
+		for _, rest := range p[1:] {
+			m.core.RaiseIRQ(rest) // re-latch the remainder in order
+		}
+		m.runHandler(vec, m.core.M.Cfg.Costs.InterruptEntry)
+		return
+	}
+	// (2) one synthetic event (spawn or blocked-context resumption).
+	if len(m.synth) > 0 {
+		item := m.synth[0]
+		m.synth = m.synth[1:]
+		if item.act != nil {
+			m.resumeActivation(item.act)
+		} else {
+			m.exec(item.fn, 0)
+		}
+		return
+	}
+	// (3) all idle handlers, as one pass.
+	if len(m.idle) > 0 {
+		snapshot := append([]*IdleHandler(nil), m.idle...)
+		m.exec(func(c *Ctx) {
+			for _, ih := range snapshot {
+				if !ih.removed {
+					ih.fn(c)
+				}
+			}
+			if c.charge < m.costs.IdlePoll {
+				c.charge = m.costs.IdlePoll
+			}
+		}, 0)
+		return
+	}
+	// (4) nothing to do: enable interrupts and halt.
+	m.core.EnableInterrupts()
+	m.core.Halt()
+}
+
+// Ctx is the context of the currently executing event. It provides virtual
+// CPU accounting and the save/restore blocking facility. A Ctx is only
+// valid during its event's execution.
+type Ctx struct {
+	m      *Manager
+	act    *activation
+	charge sim.Time
+}
+
+// Manager returns the event manager for the executing core.
+func (c *Ctx) Manager() *Manager { return c.m }
+
+// Core returns the executing core.
+func (c *Ctx) Core() *machine.Core { return c.m.core }
+
+// Now reports the virtual time at which the current event was dispatched.
+func (c *Ctx) Now() sim.Time { return c.m.k.Now() }
+
+// Charge accounts d of CPU time to the current event.
+func (c *Ctx) Charge(d sim.Time) {
+	if d > 0 {
+		c.charge += d
+	}
+}
+
+// ChargeCycles accounts n CPU cycles at the core's clock rate.
+func (c *Ctx) ChargeCycles(n float64) { c.Charge(c.m.core.Cycles(n)) }
+
+// Charged reports the total accounted so far (for tests).
+func (c *Ctx) Charged() sim.Time { return c.charge }
+
+// Block suspends the current event (the paper's "save event state"),
+// letting the core process other events. register receives a resume
+// function; invoking it reactivates this event as if by ActivateContext.
+// Block satisfies future.Blocker, so f.Block(ctx) awaits a future with
+// blocking semantics.
+func (c *Ctx) Block(register func(resume func())) {
+	act := c.act
+	resumed := false
+	register(func() {
+		if resumed {
+			panic("event: context resumed twice")
+		}
+		resumed = true
+		c.m.synth = append(c.m.synth, synthItem{act: act})
+		c.m.kick()
+	})
+	act.state <- actBlocked
+	<-act.resume
+}

@@ -1,0 +1,305 @@
+package event
+
+import (
+	"testing"
+
+	"ebbrt/internal/future"
+	"ebbrt/internal/machine"
+	"ebbrt/internal/sim"
+)
+
+func newTestEnv(cores int) (*sim.Kernel, *machine.Machine, []*Manager) {
+	k := sim.NewKernel()
+	m := machine.New(k, machine.DefaultConfig("test", cores))
+	mgrs := make([]*Manager, cores)
+	for i := range mgrs {
+		mgrs[i] = NewManager(m.Cores[i], DefaultCosts())
+	}
+	return k, m, mgrs
+}
+
+func TestSpawnRunsOnce(t *testing.T) {
+	k, _, mgrs := newTestEnv(1)
+	count := 0
+	mgrs[0].Spawn(func(*Ctx) { count++ })
+	k.Run()
+	if count != 1 {
+		t.Fatalf("spawned event ran %d times", count)
+	}
+	if !mgrs[0].Core().Halted() {
+		t.Fatal("core did not halt after draining")
+	}
+}
+
+func TestSpawnFIFO(t *testing.T) {
+	k, _, mgrs := newTestEnv(1)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		mgrs[0].Spawn(func(*Ctx) { order = append(order, i) })
+	}
+	k.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestChargeAdvancesTime(t *testing.T) {
+	k, _, mgrs := newTestEnv(1)
+	var doneAt sim.Time
+	mgrs[0].Spawn(func(c *Ctx) { c.Charge(5 * sim.Microsecond) })
+	mgrs[0].Spawn(func(c *Ctx) { doneAt = c.Now() })
+	k.Run()
+	if doneAt < 5*sim.Microsecond {
+		t.Fatalf("second event at %v, want >= 5us (first event's charge)", doneAt)
+	}
+}
+
+func TestChargeCycles(t *testing.T) {
+	k, _, mgrs := newTestEnv(1)
+	var charged sim.Time
+	mgrs[0].Spawn(func(c *Ctx) {
+		before := c.Charged()
+		c.ChargeCycles(2600) // 1us at 2.6GHz
+		charged = c.Charged() - before
+	})
+	k.Run()
+	if charged != 1*sim.Microsecond {
+		t.Fatalf("2600 cycles charged %v, want 1us", charged)
+	}
+}
+
+func TestInterruptPriorityOverSynthetic(t *testing.T) {
+	k, _, mgrs := newTestEnv(1)
+	m := mgrs[0]
+	var order []string
+	vec := m.AllocateVector(func(*Ctx) { order = append(order, "irq") })
+	m.Spawn(func(c *Ctx) {
+		// While this event runs (interrupts disabled), both an IRQ and a
+		// spawn arrive. The IRQ must dispatch first.
+		m.Spawn(func(*Ctx) { order = append(order, "synth") })
+		c.Core().RaiseIRQ(vec)
+	})
+	k.Run()
+	if len(order) != 2 || order[0] != "irq" || order[1] != "synth" {
+		t.Fatalf("order = %v, want [irq synth]", order)
+	}
+}
+
+func TestPendingIRQOrderPreserved(t *testing.T) {
+	k, _, mgrs := newTestEnv(1)
+	m := mgrs[0]
+	var order []int
+	v1 := m.AllocateVector(func(*Ctx) { order = append(order, 1) })
+	v2 := m.AllocateVector(func(*Ctx) { order = append(order, 2) })
+	v3 := m.AllocateVector(func(*Ctx) { order = append(order, 3) })
+	m.Spawn(func(c *Ctx) {
+		c.Core().RaiseIRQ(v1)
+		c.Core().RaiseIRQ(v2)
+		c.Core().RaiseIRQ(v3)
+	})
+	k.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestIdleHandlerPolling(t *testing.T) {
+	k, _, mgrs := newTestEnv(1)
+	m := mgrs[0]
+	polls := 0
+	var ih *IdleHandler
+	ih = m.AddIdleHandler(func(c *Ctx) {
+		polls++
+		if polls == 10 {
+			m.RemoveIdleHandler(ih)
+		}
+	})
+	k.RunUntil(1 * sim.Millisecond)
+	if polls != 10 {
+		t.Fatalf("idle handler polled %d times, want exactly 10 (then removed)", polls)
+	}
+	if !m.Core().Halted() {
+		t.Fatal("core did not halt after idle handler removed")
+	}
+	if m.IdleHandlerCount() != 0 {
+		t.Fatal("idle handler still installed")
+	}
+}
+
+func TestIdlePollConsumesVirtualTime(t *testing.T) {
+	k, _, mgrs := newTestEnv(1)
+	m := mgrs[0]
+	m.AddIdleHandler(func(*Ctx) {})
+	// If polling were free the kernel would loop forever at t=0.
+	k.RunUntil(10 * sim.Microsecond)
+	if k.Now() != 10*sim.Microsecond {
+		t.Fatalf("now = %v", k.Now())
+	}
+	if m.Dispatched == 0 || m.Dispatched > 1000 {
+		t.Fatalf("dispatched = %d, want bounded spinning", m.Dispatched)
+	}
+}
+
+func TestIdleHandlerYieldsToInterrupt(t *testing.T) {
+	k, _, mgrs := newTestEnv(1)
+	m := mgrs[0]
+	var order []string
+	vec := m.AllocateVector(func(*Ctx) { order = append(order, "irq") })
+	polls := 0
+	m.AddIdleHandler(func(*Ctx) {
+		polls++
+		if len(order) < 3 {
+			order = append(order, "poll")
+		}
+	})
+	k.After(1*sim.Microsecond, func() { m.Core().RaiseIRQ(vec) })
+	k.RunUntil(5 * sim.Microsecond)
+	// The interrupt must have been dispatched even though idle handlers
+	// keep the core busy.
+	found := false
+	for _, s := range order {
+		if s == "irq" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("interrupt starved by idle handlers: %v", order)
+	}
+}
+
+func TestTimer(t *testing.T) {
+	k, _, mgrs := newTestEnv(1)
+	m := mgrs[0]
+	var firedAt sim.Time
+	m.After(100*sim.Microsecond, func(c *Ctx) { firedAt = c.Now() })
+	k.Run()
+	if firedAt < 100*sim.Microsecond || firedAt > 102*sim.Microsecond {
+		t.Fatalf("timer fired at %v", firedAt)
+	}
+}
+
+func TestTimerCancel(t *testing.T) {
+	k, _, mgrs := newTestEnv(1)
+	m := mgrs[0]
+	ev := m.After(100*sim.Microsecond, func(*Ctx) { t.Fatal("cancelled timer fired") })
+	ev.Cancel()
+	k.Run()
+}
+
+func TestBlockAndResume(t *testing.T) {
+	k, _, mgrs := newTestEnv(1)
+	m := mgrs[0]
+	p := future.NewPromise[int]()
+	var got int
+	var resumedAt sim.Time
+	m.Spawn(func(c *Ctx) {
+		v, err := p.Future().Block(c)
+		if err != nil {
+			t.Errorf("Block error: %v", err)
+		}
+		got = v
+		resumedAt = c.Now()
+	})
+	m.After(50*sim.Microsecond, func(*Ctx) { p.SetValue(42) })
+	k.Run()
+	if got != 42 {
+		t.Fatalf("got %d", got)
+	}
+	if resumedAt < 50*sim.Microsecond {
+		t.Fatalf("resumed at %v, before fulfillment", resumedAt)
+	}
+}
+
+func TestBlockDoesNotStallOtherEvents(t *testing.T) {
+	k, _, mgrs := newTestEnv(1)
+	m := mgrs[0]
+	p := future.NewPromise[future.Unit]()
+	var order []string
+	m.Spawn(func(c *Ctx) {
+		order = append(order, "blocker-start")
+		_, _ = p.Future().Block(c)
+		order = append(order, "blocker-end")
+	})
+	m.Spawn(func(*Ctx) { order = append(order, "other") })
+	m.After(10*sim.Microsecond, func(*Ctx) { p.SetValue(future.Unit{}) })
+	k.Run()
+	want := []string{"blocker-start", "other", "blocker-end"}
+	if len(order) != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestNestedBlocks(t *testing.T) {
+	k, _, mgrs := newTestEnv(1)
+	m := mgrs[0]
+	p1 := future.NewPromise[int]()
+	p2 := future.NewPromise[int]()
+	total := 0
+	m.Spawn(func(c *Ctx) {
+		a, _ := p1.Future().Block(c)
+		b, _ := p2.Future().Block(c)
+		total = a + b
+	})
+	m.After(10*sim.Microsecond, func(*Ctx) { p1.SetValue(1) })
+	m.After(20*sim.Microsecond, func(*Ctx) { p2.SetValue(2) })
+	k.Run()
+	if total != 3 {
+		t.Fatalf("total = %d", total)
+	}
+}
+
+func TestCrossCoreSpawnWakesHaltedCore(t *testing.T) {
+	k, _, mgrs := newTestEnv(2)
+	ran := -1
+	mgrs[0].Spawn(func(*Ctx) {
+		mgrs[1].Spawn(func(c *Ctx) { ran = c.Core().ID })
+	})
+	k.Run()
+	if ran != 1 {
+		t.Fatalf("event ran on core %d, want 1", ran)
+	}
+}
+
+func TestManyEventsDeterministic(t *testing.T) {
+	run := func() []int {
+		k, _, mgrs := newTestEnv(4)
+		var order []int
+		for i := 0; i < 100; i++ {
+			i := i
+			core := i % 4
+			mgrs[core].After(sim.Time(i%7)*sim.Microsecond, func(*Ctx) {
+				order = append(order, i)
+			})
+		}
+		k.Run()
+		return order
+	}
+	a, b := run(), run()
+	if len(a) != 100 || len(b) != 100 {
+		t.Fatalf("lengths %d %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("two identical runs diverged: nondeterminism")
+		}
+	}
+}
+
+func TestUnboundVectorPanics(t *testing.T) {
+	k, _, mgrs := newTestEnv(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unbound vector did not panic")
+		}
+	}()
+	mgrs[0].Core().RaiseIRQ(99)
+	k.Run()
+}

@@ -1,0 +1,208 @@
+package future
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestReadyThenRunsSynchronously(t *testing.T) {
+	f := Ready(21)
+	ran := false
+	g := ThenOK(f, func(v int) (int, error) {
+		ran = true
+		return v * 2, nil
+	})
+	if !ran {
+		t.Fatal("Then on ready future did not run synchronously")
+	}
+	r, ok := g.Poll()
+	if !ok {
+		t.Fatal("chained future not done")
+	}
+	if v, err := r.Get(); err != nil || v != 42 {
+		t.Fatalf("got %v, %v", v, err)
+	}
+}
+
+func TestPromiseFulfillLater(t *testing.T) {
+	p := NewPromise[string]()
+	f := p.Future()
+	if f.Done() {
+		t.Fatal("future done before fulfill")
+	}
+	var got string
+	f.OnDone(func(r Result[string]) { got = r.Must() })
+	p.SetValue("hello")
+	if got != "hello" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestErrorPropagationThroughChain(t *testing.T) {
+	boom := errors.New("arp timeout")
+	f := Fail[int](boom)
+	mid := ThenOK(f, func(v int) (int, error) {
+		t.Fatal("intermediate link ran despite error")
+		return 0, nil
+	})
+	final := Then(mid, func(r Result[int]) (string, error) {
+		if _, err := r.Get(); err != nil {
+			return "handled:" + err.Error(), nil
+		}
+		return "no error", nil
+	})
+	r, _ := final.Poll()
+	if v := r.Must(); v != "handled:arp timeout" {
+		t.Fatalf("got %q", v)
+	}
+}
+
+func TestThenProducesError(t *testing.T) {
+	f := Ready(1)
+	g := ThenOK(f, func(int) (int, error) { return 0, errors.New("downstream") })
+	r, _ := g.Poll()
+	if r.Err() == nil {
+		t.Fatal("error not captured")
+	}
+}
+
+func TestThenFlat(t *testing.T) {
+	inner := NewPromise[int]()
+	f := ThenFlat(Ready(10), func(v int) Future[int] { return inner.Future() })
+	if f.Done() {
+		t.Fatal("flattened future done before inner fulfilled")
+	}
+	inner.SetValue(32)
+	r, ok := f.Poll()
+	if !ok || r.Must() != 32 {
+		t.Fatalf("got %+v ok=%v", r, ok)
+	}
+}
+
+func TestThenFlatErrorShortCircuits(t *testing.T) {
+	f := ThenFlat(Fail[int](errors.New("x")), func(v int) Future[int] {
+		t.Fatal("fn ran on failed input")
+		return Ready(0)
+	})
+	if r, ok := f.Poll(); !ok || r.Err() == nil {
+		t.Fatal("error did not propagate")
+	}
+}
+
+func TestWhenAll(t *testing.T) {
+	ps := []Promise[int]{NewPromise[int](), NewPromise[int](), NewPromise[int]()}
+	fs := make([]Future[int], len(ps))
+	for i, p := range ps {
+		fs[i] = p.Future()
+	}
+	all := WhenAll(fs)
+	ps[2].SetValue(3)
+	ps[0].SetValue(1)
+	if all.Done() {
+		t.Fatal("WhenAll done early")
+	}
+	ps[1].SetValue(2)
+	r, ok := all.Poll()
+	if !ok {
+		t.Fatal("WhenAll not done")
+	}
+	vals := r.Must()
+	if vals[0] != 1 || vals[1] != 2 || vals[2] != 3 {
+		t.Fatalf("vals = %v", vals)
+	}
+}
+
+func TestWhenAllEmpty(t *testing.T) {
+	if !WhenAll[int](nil).Done() {
+		t.Fatal("WhenAll(nil) should be done")
+	}
+}
+
+func TestWhenAllError(t *testing.T) {
+	p1, p2 := NewPromise[int](), NewPromise[int]()
+	all := WhenAll([]Future[int]{p1.Future(), p2.Future()})
+	p1.SetError(errors.New("dead"))
+	if r, ok := all.Poll(); !ok || r.Err() == nil {
+		t.Fatal("WhenAll did not fail fast")
+	}
+	p2.SetValue(2) // must not panic or double-fulfill
+}
+
+func TestDoubleFulfillPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double fulfill did not panic")
+		}
+	}()
+	p := NewPromise[int]()
+	p.SetValue(1)
+	p.SetValue(2)
+}
+
+func TestSetErrorNil(t *testing.T) {
+	p := NewPromise[int]()
+	p.SetError(nil)
+	r, _ := p.Future().Poll()
+	if r.Err() == nil {
+		t.Fatal("nil SetError should still produce an error")
+	}
+}
+
+type chanBlocker struct{ wg sync.WaitGroup }
+
+func (c *chanBlocker) Block(register func(resume func())) {
+	done := make(chan struct{})
+	register(func() { close(done) })
+	<-done
+}
+
+func TestBlock(t *testing.T) {
+	p := NewPromise[int]()
+	got := make(chan int)
+	go func() {
+		v, err := p.Future().Block(&chanBlocker{})
+		if err != nil {
+			t.Error(err)
+		}
+		got <- v
+	}()
+	p.SetValue(99)
+	if v := <-got; v != 99 {
+		t.Fatalf("Block got %d", v)
+	}
+}
+
+func TestBlockOnReadyFastPath(t *testing.T) {
+	v, err := Ready(7).Block(nil) // nil Blocker: must not be touched on fast path
+	if err != nil || v != 7 {
+		t.Fatalf("got %v, %v", v, err)
+	}
+}
+
+func TestConcurrentOnDone(t *testing.T) {
+	p := NewPromise[int]()
+	f := p.Future()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	count := 0
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f.OnDone(func(Result[int]) {
+				mu.Lock()
+				count++
+				mu.Unlock()
+			})
+		}()
+	}
+	p.SetValue(1)
+	wg.Wait()
+	// Late registrations fire immediately; all 50 must have run.
+	mu.Lock()
+	defer mu.Unlock()
+	if count != 50 {
+		t.Fatalf("count = %d", count)
+	}
+}

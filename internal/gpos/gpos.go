@@ -1,0 +1,331 @@
+// Package gpos models a general-purpose operating system as the paper's
+// comparison baselines: Linux (virtualized and native) and OSv.
+//
+// The baseline runs the *same* protocol stack as the native EbbRT runtime -
+// correctness is shared - but wraps the application behind the costs a
+// general-purpose OS imposes and EbbRT removes:
+//
+//   - receive: device interrupt -> softirq processing -> copy into socket
+//     buffer -> scheduler wakeup (latency + context switch) -> read()
+//     syscall -> copy to userspace -> application
+//   - transmit: write() syscall -> copy to kernel -> stack -> device
+//   - a periodic scheduler tick that steals CPU and pollutes caches
+//
+// The OSv profile removes the user/kernel copy and cheapens syscalls (a
+// single address space library OS) but pays a less-optimized virtio path,
+// coarse locking, and - as its published virtio-net driver did - supports
+// only a single receive queue, which is what degrades its multicore
+// scaling in Figure 6.
+package gpos
+
+import (
+	"ebbrt/internal/apps/appnet"
+	"ebbrt/internal/event"
+	"ebbrt/internal/iobuf"
+	"ebbrt/internal/machine"
+	"ebbrt/internal/netstack"
+	"ebbrt/internal/sim"
+)
+
+// Config carries the OS cost model.
+type Config struct {
+	// Label names the profile in experiment output.
+	Label string
+	// Syscall is the user->kernel->user crossing cost (virtualization
+	// raises it slightly; calibrated per profile).
+	Syscall sim.Time
+	// CopyPerByte is the user/kernel copy cost each direction.
+	CopyPerByte float64 // ns per byte
+	// SoftirqPerPacket is the kernel receive-path cost beyond the shared
+	// protocol logic (skb management, socket demux, locking).
+	SoftirqPerPacket sim.Time
+	// WakeupLatency is the time from data-ready to the task running
+	// (scheduler decision, runqueue, IPI).
+	WakeupLatency sim.Time
+	// CtxSwitch is the context-switch CPU cost charged on wakeup.
+	CtxSwitch sim.Time
+	// TickInterval and TickCost model the periodic scheduler tick.
+	TickInterval sim.Time
+	TickCost     sim.Time
+	// LockPerPacketPerCore adds per-packet cost proportional to active
+	// cores, modelling coarse-grained locking (OSv profile).
+	LockPerPacketPerCore sim.Time
+	// WakeupJitterMean adds exponentially distributed scheduler noise to
+	// every wakeup; TailSpikeProb/TailSpikeMean model the occasional
+	// long delay when an unrelated kernel thread holds the CPU - the
+	// source of the general-purpose OS's 99th-percentile tail.
+	WakeupJitterMean sim.Time
+	TailSpikeProb    float64
+	TailSpikeMean    sim.Time
+}
+
+// LinuxConfig is the Linux guest/host cost profile (paper's Debian 8,
+// kernel 3.16). The same profile serves virtualized and native runs; the
+// virtualization delta lives in the machine's device cost model.
+func LinuxConfig() Config {
+	return Config{
+		Label:            "Linux",
+		Syscall:          400 * sim.Nanosecond,
+		CopyPerByte:      0.12,
+		SoftirqPerPacket: 1200 * sim.Nanosecond,
+		WakeupLatency:    2500 * sim.Nanosecond,
+		CtxSwitch:        2000 * sim.Nanosecond,
+		TickInterval:     1 * sim.Millisecond,
+		TickCost:         2500 * sim.Nanosecond,
+		WakeupJitterMean: 4000 * sim.Nanosecond,
+		TailSpikeProb:    0.02,
+		TailSpikeMean:    90 * sim.Microsecond,
+	}
+}
+
+// OSvConfig is the OSv profile: no user/kernel copies or hard syscalls,
+// but a slower socket path and global locking; pair it with a single-queue
+// NIC (machine.Config.NICQueues = 1).
+func OSvConfig() Config {
+	return Config{
+		Label:                "OSv",
+		Syscall:              80 * sim.Nanosecond,
+		CopyPerByte:          0.02, // internal handoffs, no user crossing
+		SoftirqPerPacket:     1500 * sim.Nanosecond,
+		WakeupLatency:        2200 * sim.Nanosecond,
+		CtxSwitch:            900 * sim.Nanosecond,
+		TickInterval:         1 * sim.Millisecond,
+		TickCost:             2000 * sim.Nanosecond,
+		LockPerPacketPerCore: 500 * sim.Nanosecond,
+		WakeupJitterMean:     3500 * sim.Nanosecond,
+		TailSpikeProb:        0.02,
+		TailSpikeMean:        80 * sim.Microsecond,
+	}
+}
+
+// Runtime is a GPOS instance over a machine: the shared netstack plus the
+// OS cost wrapper. It implements appnet.Runtime.
+type Runtime struct {
+	Cfg   Config
+	Stack *netstack.Stack
+	Itf   *netstack.Interface
+	cores int
+	rng   *sim.Rng
+}
+
+// NewRuntime boots the OS model: protocol stack, plus per-core scheduler
+// ticks for the lifetime of the simulation.
+func NewRuntime(m *machine.Machine, mgrs []*event.Manager, stackCfg netstack.Config, cfg Config, nic *machine.NIC, addr, mask netstack.Ipv4Addr) *Runtime {
+	st := netstack.NewStack(m, mgrs, stackCfg)
+	itf := st.AddInterface(nic, addr, mask)
+	rt := &Runtime{Cfg: cfg, Stack: st, Itf: itf, cores: len(mgrs), rng: sim.NewRng(0x6b05)}
+	if cfg.TickInterval > 0 {
+		for _, mgr := range mgrs {
+			rt.startTick(mgr)
+		}
+	}
+	return rt
+}
+
+func (rt *Runtime) startTick(mgr *event.Manager) {
+	var tick func(c *event.Ctx)
+	tick = func(c *event.Ctx) {
+		c.Charge(rt.Cfg.TickCost)
+		mgr.After(rt.Cfg.TickInterval, tick)
+	}
+	mgr.After(rt.Cfg.TickInterval, tick)
+}
+
+// Name implements appnet.Runtime.
+func (rt *Runtime) Name() string { return rt.Cfg.Label }
+
+// Mgrs implements appnet.Runtime.
+func (rt *Runtime) Mgrs() []*event.Manager { return rt.Stack.Mgrs }
+
+// Kernel implements appnet.Runtime.
+func (rt *Runtime) Kernel() *sim.Kernel { return rt.Stack.M.K }
+
+// copyCost charges the user/kernel copy for n bytes.
+func (rt *Runtime) copyCost(n int) sim.Time {
+	return sim.Time(rt.Cfg.CopyPerByte * float64(n))
+}
+
+// lockCost models coarse locking scaled by core count.
+func (rt *Runtime) lockCost() sim.Time {
+	return rt.Cfg.LockPerPacketPerCore * sim.Time(rt.cores)
+}
+
+// Listen implements appnet.Runtime.
+func (rt *Runtime) Listen(port uint16, accept func(conn appnet.Conn) appnet.Callbacks) error {
+	_, err := rt.Itf.ListenTcp(port, func(c *event.Ctx, pcb *netstack.TcpPcb) netstack.ConnHandler {
+		sock := &socket{rt: rt, pcb: pcb}
+		cb := accept(sock)
+		return sock.handler(cb)
+	})
+	return err
+}
+
+// Dial implements appnet.Runtime.
+func (rt *Runtime) Dial(c *event.Ctx, ip netstack.Ipv4Addr, port uint16, cb appnet.Callbacks, onConnect func(c *event.Ctx, conn appnet.Conn)) {
+	sock := &socket{rt: rt}
+	h := sock.handler(cb)
+	h.OnConnected = func(c *event.Ctx, pcb *netstack.TcpPcb) {
+		if onConnect != nil {
+			onConnect(c, sock)
+		}
+	}
+	c.Charge(rt.Cfg.Syscall) // connect()
+	pcb, err := rt.Itf.ConnectTcp(c, ip, port, h)
+	if err != nil {
+		if cb.OnClose != nil {
+			cb.OnClose(c, sock, err)
+		}
+		return
+	}
+	sock.pcb = pcb
+}
+
+// socket is a kernel socket: buffered both directions, with the app on the
+// far side of syscalls and a scheduler wakeup.
+type socket struct {
+	rt  *Runtime
+	pcb *netstack.TcpPcb
+
+	// Receive side: kernel socket buffer awaiting the task's read().
+	rxPending   [][]byte
+	wakePending bool
+
+	// Send side: kernel send buffer beyond the remote window.
+	txPending [][]byte
+
+	closed         bool
+	closeRequested bool
+}
+
+// Core implements appnet.Conn.
+func (s *socket) Core() int {
+	if s.pcb == nil {
+		return 0
+	}
+	return s.pcb.Core()
+}
+
+func (s *socket) handler(cb appnet.Callbacks) netstack.ConnHandler {
+	return netstack.ConnHandler{
+		OnReceive: func(c *event.Ctx, pcb *netstack.TcpPcb, payload *iobuf.IOBuf) {
+			// Softirq context: kernel-side processing and copy into the
+			// socket buffer.
+			data := payload.CopyOut()
+			c.Charge(s.rt.Cfg.SoftirqPerPacket + s.rt.lockCost())
+			s.rxPending = append(s.rxPending, data)
+			s.scheduleWake(c, cb)
+		},
+		OnAcked: func(c *event.Ctx, pcb *netstack.TcpPcb, n int) {
+			s.drainTx(c)
+		},
+		OnWindowOpen: func(c *event.Ctx, pcb *netstack.TcpPcb) {
+			s.drainTx(c)
+		},
+		OnRemoteClosed: func(c *event.Ctx, pcb *netstack.TcpPcb) {
+			s.Close(c)
+		},
+		OnClosed: func(c *event.Ctx, pcb *netstack.TcpPcb, err error) {
+			s.closed = true
+			if cb.OnClose != nil {
+				cb.OnClose(c, s, err)
+			}
+		},
+	}
+}
+
+// scheduleWake models the softirq -> task wakeup -> read() path.
+func (s *socket) scheduleWake(c *event.Ctx, cb appnet.Callbacks) {
+	if s.wakePending {
+		return // task already runnable; data coalesces into one read
+	}
+	s.wakePending = true
+	mgr := s.rt.Stack.Mgrs[s.Core()]
+	delay := s.rt.Cfg.WakeupLatency
+	if j := s.rt.Cfg.WakeupJitterMean; j > 0 {
+		delay += sim.Time(s.rt.rng.Exp(float64(j)))
+	}
+	if p := s.rt.Cfg.TailSpikeProb; p > 0 && s.rt.rng.Float64() < p {
+		delay += sim.Time(s.rt.rng.Exp(float64(s.rt.Cfg.TailSpikeMean)))
+	}
+	mgr.After(delay, func(c2 *event.Ctx) {
+		s.wakePending = false
+		if s.closed {
+			return
+		}
+		pending := s.rxPending
+		s.rxPending = nil
+		total := 0
+		for _, b := range pending {
+			total += len(b)
+		}
+		// Context switch to the task, read() syscall, copy to userspace.
+		c2.Charge(s.rt.Cfg.CtxSwitch + s.rt.Cfg.Syscall + s.rt.copyCost(total))
+		if cb.OnData == nil || total == 0 {
+			return
+		}
+		var head *iobuf.IOBuf
+		for _, b := range pending {
+			if head == nil {
+				head = iobuf.Wrap(b)
+			} else {
+				head.AppendChain(iobuf.Wrap(b))
+			}
+		}
+		cb.OnData(c2, s, head)
+	})
+}
+
+// Send implements appnet.Conn: write() syscall semantics.
+func (s *socket) Send(c *event.Ctx, payload *iobuf.IOBuf) {
+	if s.closed || s.pcb == nil {
+		return
+	}
+	n := payload.ComputeChainDataLength()
+	// write(): syscall plus copy into the kernel send buffer.
+	c.Charge(s.rt.Cfg.Syscall + s.rt.copyCost(n) + s.rt.lockCost())
+	s.txPending = append(s.txPending, payload.CopyOut())
+	s.drainTx(c)
+}
+
+// drainTx pushes kernel-buffered data as the window allows.
+func (s *socket) drainTx(c *event.Ctx) {
+	if s.closed || s.pcb == nil {
+		return
+	}
+	for len(s.txPending) > 0 {
+		head := s.txPending[0]
+		w := s.pcb.SendWindowRemaining()
+		if w == 0 {
+			return
+		}
+		n := len(head)
+		if n > w {
+			n = w
+		}
+		if err := s.pcb.Send(c, iobuf.Wrap(head[:n])); err != nil {
+			return
+		}
+		if n == len(head) {
+			s.txPending = s.txPending[1:]
+		} else {
+			s.txPending[0] = head[n:]
+		}
+	}
+	if s.closeRequested && len(s.txPending) == 0 {
+		s.closeRequested = false
+		s.pcb.Close(c)
+	}
+}
+
+// Close implements appnet.Conn.
+func (s *socket) Close(c *event.Ctx) {
+	if s.closed || s.pcb == nil {
+		return
+	}
+	c.Charge(s.rt.Cfg.Syscall)
+	if len(s.txPending) > 0 {
+		s.closeRequested = true
+		return
+	}
+	s.pcb.Close(c)
+}

@@ -1,0 +1,81 @@
+package gpos_test
+
+import (
+	"testing"
+
+	"ebbrt/internal/gpos"
+	"ebbrt/internal/sim"
+	"ebbrt/internal/testbed"
+)
+
+func TestProfiles(t *testing.T) {
+	lin := gpos.LinuxConfig()
+	osv := gpos.OSvConfig()
+	if lin.Label != "Linux" || osv.Label != "OSv" {
+		t.Fatal("profile labels wrong")
+	}
+	// OSv's defining properties vs Linux: no user/kernel copy boundary,
+	// cheap syscalls, coarse locking.
+	if osv.CopyPerByte >= lin.CopyPerByte {
+		t.Fatal("OSv should not pay the user/kernel copy")
+	}
+	if osv.Syscall >= lin.Syscall {
+		t.Fatal("OSv syscalls should be cheap (single address space)")
+	}
+	if osv.LockPerPacketPerCore == 0 {
+		t.Fatal("OSv profile should model coarse locking")
+	}
+	if lin.LockPerPacketPerCore != 0 {
+		t.Fatal("Linux profile should not pay per-core lock scaling")
+	}
+}
+
+func TestSchedulerTicksConsumeCPU(t *testing.T) {
+	// A GPOS machine left idle still burns CPU on timer ticks; an EbbRT
+	// machine is perfectly quiescent (paper §4.3: "prevents unnecessary
+	// timer interrupts").
+	pair := testbed.NewPair(testbed.LinuxVM, 1, 1)
+	before := pair.K.Fired()
+	pair.K.RunUntil(100 * sim.Millisecond)
+	gposEvents := pair.K.Fired() - before
+
+	ebb := testbed.NewPair(testbed.EbbRT, 1, 1)
+	before = ebb.K.Fired()
+	ebb.K.RunUntil(100 * sim.Millisecond)
+	ebbEvents := ebb.K.Fired() - before
+
+	// ~100 ticks per core per 100ms on the GPOS side (both machines of
+	// the pair have cores; the client is native in both cases).
+	if gposEvents < 100 {
+		t.Fatalf("GPOS fired only %d events in 100ms idle", gposEvents)
+	}
+	if ebbEvents >= gposEvents {
+		t.Fatalf("EbbRT idle events (%d) should be far below GPOS (%d)", ebbEvents, gposEvents)
+	}
+}
+
+func TestOSvSingleQueueTopology(t *testing.T) {
+	pair := testbed.NewPair(testbed.OSv, 4, 4)
+	rtm, ok := pair.Server.(*gpos.Runtime)
+	if !ok {
+		t.Fatal("OSv server is not a GPOS runtime")
+	}
+	if got := len(rtm.Itf.NIC.Queues); got != 1 {
+		t.Fatalf("OSv NIC has %d queues, want 1 (no multiqueue support)", got)
+	}
+	ebb := testbed.NewPair(testbed.EbbRT, 4, 4)
+	type hasStack interface{ Name() string }
+	_ = ebb.Server.(hasStack)
+}
+
+func TestLinuxNativeUnvirtualized(t *testing.T) {
+	pair := testbed.NewPair(testbed.LinuxNative, 1, 1)
+	rtm := pair.Server.(*gpos.Runtime)
+	if rtm.Stack.M.Cfg.Virtualized {
+		t.Fatal("Linux native machine should not be virtualized")
+	}
+	vm := testbed.NewPair(testbed.LinuxVM, 1, 1)
+	if !vm.Server.(*gpos.Runtime).Stack.M.Cfg.Virtualized {
+		t.Fatal("Linux VM machine should be virtualized")
+	}
+}

@@ -1,0 +1,249 @@
+// Package hosted implements EbbRT's heterogeneous distributed structure
+// (paper §2.1): an application deployed as a hosted process embedded in a
+// general-purpose OS plus one or more native library-OS backends, all
+// sharing one Ebb namespace and communicating over the local network.
+//
+// The hosted frontend provides what the native nodes deliberately omit:
+// id allocation, naming (the GlobalIdMap), and legacy-interface offload
+// (the FileSystem Ebb ships calls to the frontend, whose representative
+// serves an in-memory filesystem standing in for the Linux one the paper
+// offloads to). "The most maintainable software is that which was not
+// written."
+package hosted
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ebbrt/internal/apps/appnet"
+	"ebbrt/internal/core"
+	"ebbrt/internal/event"
+	"ebbrt/internal/gpos"
+	"ebbrt/internal/iobuf"
+	"ebbrt/internal/machine"
+	"ebbrt/internal/netstack"
+	"ebbrt/internal/sim"
+)
+
+// iobufChain aliases the IOBuf type for brevity in callback signatures.
+type iobufChain = iobuf.IOBuf
+
+func wrapBytes(b []byte) *iobufChain { return iobuf.Wrap(b) }
+
+// NodeId identifies a node within an application deployment. Node 0 is
+// always the hosted frontend.
+type NodeId int
+
+// messengerPort is the TCP port the per-node messenger listens on.
+const messengerPort = 9000
+
+// System is one application deployment: the frontend plus native backends
+// on an isolated switched network.
+type System struct {
+	K      *sim.Kernel
+	Switch *machine.Switch
+	Nodes  []*Node
+	nextId core.Id
+
+	frontFSRep *fsFrontendRep // FileSystem Ebb's frontend store
+}
+
+// Node is one machine of the deployment.
+type Node struct {
+	Sys       *System
+	Id        NodeId
+	Machine   *machine.Machine
+	Runtime   appnet.Runtime
+	Domain    *core.Domain
+	Messenger *Messenger
+
+	fsRep *fsNativeRep // FileSystem Ebb's per-node representative
+}
+
+// IP returns the node's address on the application network.
+func (n *Node) IP() netstack.Ipv4Addr { return netstack.IP(10, 0, 0, byte(10+n.Id)) }
+
+// NewSystem creates the frontend (hosted) node.
+func NewSystem() *System {
+	k := sim.NewKernel()
+	s := &System{K: k, Switch: machine.NewSwitch(k), nextId: 1000}
+	s.addNode(true, 2)
+	return s
+}
+
+// AddNativeNode boots a native backend with the given core count and
+// returns it. The paper's deployments launch backends on demand; here the
+// caller does so explicitly.
+func (s *System) AddNativeNode(cores int) *Node {
+	return s.addNode(false, cores)
+}
+
+// Frontend returns the hosted node.
+func (s *System) Frontend() *Node { return s.Nodes[0] }
+
+// AllocateEbbId reserves a system-wide id. Allocation is owned by the
+// frontend, keeping the shared namespace collision-free.
+func (s *System) AllocateEbbId() core.Id {
+	id := s.nextId
+	s.nextId++
+	for _, n := range s.Nodes {
+		n.Domain.ReserveThrough(id)
+	}
+	return id
+}
+
+func (s *System) addNode(frontend bool, cores int) *Node {
+	id := NodeId(len(s.Nodes))
+	name := fmt.Sprintf("native-%d", id)
+	if frontend {
+		name = "hosted-frontend"
+	}
+	cfg := machine.DefaultConfig(name, cores)
+	m := machine.New(s.K, cfg)
+	nic := machine.NewNIC(m, machine.MAC{0x02, 0xeb, 0, 0, 0, byte(id + 1)})
+	s.Switch.Connect(nic)
+	mgrs := make([]*event.Manager, cores)
+	for i, c := range m.Cores {
+		mgrs[i] = event.NewManager(c, event.DefaultCosts())
+	}
+	node := &Node{Sys: s, Id: id, Machine: m}
+	mask := netstack.IP(255, 255, 255, 0)
+	if frontend {
+		// The hosted library lives in a GPOS process: same Ebb model,
+		// hash-table translation, syscall-priced networking.
+		node.Runtime = gpos.NewRuntime(m, mgrs, netstack.DefaultConfig(), gpos.LinuxConfig(), nic, node.IP(), mask)
+		node.Domain = core.NewDomain(cores, core.HostedTable)
+	} else {
+		st := netstack.NewStack(m, mgrs, netstack.DefaultConfig())
+		itf := st.AddInterface(nic, node.IP(), mask)
+		node.Runtime = appnet.NewNative(st, itf)
+		node.Domain = core.NewDomain(cores, core.NativeTable)
+	}
+	node.Messenger = newMessenger(node)
+	s.Nodes = append(s.Nodes, node)
+	return node
+}
+
+// Spawn runs fn as an event on the node's first core.
+func (n *Node) Spawn(fn event.Handler) { n.Runtime.Mgrs()[0].Spawn(fn) }
+
+// MessageHandler receives a messenger payload addressed to an Ebb.
+type MessageHandler func(c *event.Ctx, src NodeId, payload []byte)
+
+// Messenger is the per-node Ebb carrying inter-node Ebb messages over TCP
+// (paper §3.3: representatives communicate by internally serializing data
+// over the network, hidden from Ebb clients).
+type Messenger struct {
+	node     *Node
+	handlers map[core.Id]MessageHandler
+	conns    map[NodeId]appnet.Conn
+	dialing  map[NodeId][]pendingMsg
+	rx       map[NodeId]*[]byte
+}
+
+type pendingMsg struct {
+	ebb     core.Id
+	payload []byte
+}
+
+func newMessenger(n *Node) *Messenger {
+	m := &Messenger{
+		node:     n,
+		handlers: map[core.Id]MessageHandler{},
+		conns:    map[NodeId]appnet.Conn{},
+		dialing:  map[NodeId][]pendingMsg{},
+		rx:       map[NodeId]*[]byte{},
+	}
+	// Accept inbound messenger connections.
+	err := n.Runtime.Listen(messengerPort, func(conn appnet.Conn) appnet.Callbacks {
+		var buf []byte
+		var from NodeId = -1
+		return appnet.Callbacks{
+			OnData: func(c *event.Ctx, conn appnet.Conn, payload *iobufChain) {
+				buf = append(buf, payload.CopyOut()...)
+				buf = m.process(c, &from, conn, buf)
+			},
+		}
+	})
+	if err != nil {
+		panic(fmt.Sprintf("hosted: messenger listen: %v", err))
+	}
+	return m
+}
+
+// Register binds the handler invoked for messages addressed to ebb.
+func (m *Messenger) Register(ebb core.Id, h MessageHandler) { m.handlers[ebb] = h }
+
+// wire format: [srcNode u32][ebbId u32][len u32][payload]
+const msgHeaderLen = 12
+
+// Send delivers payload to the Ebb's representative on the destination
+// node, establishing the TCP connection on first use.
+func (m *Messenger) Send(c *event.Ctx, dst NodeId, ebb core.Id, payload []byte) {
+	if dst == m.node.Id {
+		// Local delivery stays local (and synchronous).
+		if h, ok := m.handlers[ebb]; ok {
+			h(c, m.node.Id, payload)
+		}
+		return
+	}
+	if conn, ok := m.conns[dst]; ok {
+		conn.Send(c, wrapMsg(m.node.Id, ebb, payload))
+		return
+	}
+	m.dialing[dst] = append(m.dialing[dst], pendingMsg{ebb: ebb, payload: payload})
+	if len(m.dialing[dst]) > 1 {
+		return // dial already in progress
+	}
+	dstNode := m.node.Sys.Nodes[dst]
+	var rxbuf []byte
+	from := dst
+	m.node.Runtime.Dial(c, dstNode.IP(), messengerPort, appnet.Callbacks{
+		OnData: func(c *event.Ctx, conn appnet.Conn, payload *iobufChain) {
+			rxbuf = append(rxbuf, payload.CopyOut()...)
+			rxbuf = m.process(c, &from, conn, rxbuf)
+		},
+		OnClose: func(c *event.Ctx, conn appnet.Conn, err error) {
+			delete(m.conns, dst)
+		},
+	}, func(c *event.Ctx, conn appnet.Conn) {
+		m.conns[dst] = conn
+		queued := m.dialing[dst]
+		delete(m.dialing, dst)
+		for _, msg := range queued {
+			conn.Send(c, wrapMsg(m.node.Id, msg.ebb, msg.payload))
+		}
+	})
+}
+
+// process parses complete messages from the stream and dispatches them.
+func (m *Messenger) process(c *event.Ctx, from *NodeId, conn appnet.Conn, buf []byte) []byte {
+	for len(buf) >= msgHeaderLen {
+		src := NodeId(binary.BigEndian.Uint32(buf[0:4]))
+		ebb := core.Id(binary.BigEndian.Uint32(buf[4:8]))
+		n := int(binary.BigEndian.Uint32(buf[8:12]))
+		if len(buf) < msgHeaderLen+n {
+			break
+		}
+		payload := buf[msgHeaderLen : msgHeaderLen+n]
+		buf = buf[msgHeaderLen+n:]
+		if *from < 0 {
+			// Learn the peer and keep the inbound connection for replies.
+			*from = src
+			m.conns[src] = conn
+		}
+		if h, ok := m.handlers[ebb]; ok {
+			h(c, src, append([]byte(nil), payload...))
+		}
+	}
+	return buf
+}
+
+func wrapMsg(src NodeId, ebb core.Id, payload []byte) *iobufChain {
+	b := make([]byte, msgHeaderLen+len(payload))
+	binary.BigEndian.PutUint32(b[0:4], uint32(src))
+	binary.BigEndian.PutUint32(b[4:8], uint32(ebb))
+	binary.BigEndian.PutUint32(b[8:12], uint32(len(payload)))
+	copy(b[msgHeaderLen:], payload)
+	return wrapBytes(b)
+}

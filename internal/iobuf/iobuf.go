@@ -1,0 +1,309 @@
+// Package iobuf implements EbbRT's IOBuf primitive (paper §3.6): a
+// descriptor that manages ownership of a region of memory plus a view of a
+// portion of it, chainable into scatter/gather lists.
+//
+// IOBufs carry packet data from the device driver through the network stack
+// to the application without copying: the stack adjusts the view (Advance,
+// Retreat, TrimEnd) to strip or expose headers in place, and transmit paths
+// hand chains of IOBufs to the device. Ownership is unique - a buffer is
+// moved, never shared - mirroring the C++ unique_ptr discipline.
+package iobuf
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// IOBuf is one element of a circular doubly-linked chain. The zero value is
+// not usable; construct with New, FromBytes, or Wrap.
+type IOBuf struct {
+	buf    []byte // backing storage (capacity)
+	off    int    // start of the view within buf
+	length int    // length of the view
+	next   *IOBuf
+	prev   *IOBuf
+}
+
+// New allocates a buffer with the given capacity and an empty view starting
+// at offset 0. Use Append to extend the view as data is produced.
+func New(capacity int) *IOBuf {
+	b := &IOBuf{buf: make([]byte, capacity)}
+	b.next = b
+	b.prev = b
+	return b
+}
+
+// FromBytes copies data into a fresh buffer whose view covers it entirely.
+func FromBytes(data []byte) *IOBuf {
+	b := New(len(data))
+	copy(b.buf, data)
+	b.length = len(data)
+	return b
+}
+
+// Wrap takes ownership of data without copying; the view covers all of it.
+func Wrap(data []byte) *IOBuf {
+	b := &IOBuf{buf: data, length: len(data)}
+	b.next = b
+	b.prev = b
+	return b
+}
+
+// Data returns the current view. The slice aliases the buffer; the network
+// stack and applications read and write through it zero-copy.
+func (b *IOBuf) Data() []byte { return b.buf[b.off : b.off+b.length] }
+
+// Length reports the view length of this element only.
+func (b *IOBuf) Length() int { return b.length }
+
+// Capacity reports the total backing capacity of this element.
+func (b *IOBuf) Capacity() int { return len(b.buf) }
+
+// Headroom reports bytes available before the view, for prepending headers.
+func (b *IOBuf) Headroom() int { return b.off }
+
+// Tailroom reports bytes available after the view, for appending data.
+func (b *IOBuf) Tailroom() int { return len(b.buf) - b.off - b.length }
+
+// Advance moves the view start forward n bytes, shrinking the view; used to
+// strip a header that has been consumed. It panics if n exceeds the view.
+func (b *IOBuf) Advance(n int) {
+	if n < 0 || n > b.length {
+		panic(fmt.Sprintf("iobuf: Advance(%d) with view %d", n, b.length))
+	}
+	b.off += n
+	b.length -= n
+}
+
+// Retreat moves the view start backward n bytes, exposing headroom; used to
+// prepend a header in place. It panics if n exceeds the headroom.
+func (b *IOBuf) Retreat(n int) {
+	if n < 0 || n > b.off {
+		panic(fmt.Sprintf("iobuf: Retreat(%d) with headroom %d", n, b.off))
+	}
+	b.off -= n
+	b.length += n
+}
+
+// Append extends the view n bytes into the tailroom and returns the newly
+// exposed region for the producer to fill. It panics on overflow.
+func (b *IOBuf) Append(n int) []byte {
+	if n < 0 || n > b.Tailroom() {
+		panic(fmt.Sprintf("iobuf: Append(%d) with tailroom %d", n, b.Tailroom()))
+	}
+	start := b.off + b.length
+	b.length += n
+	return b.buf[start : start+n]
+}
+
+// TrimEnd shrinks the view by n bytes at the tail.
+func (b *IOBuf) TrimEnd(n int) {
+	if n < 0 || n > b.length {
+		panic(fmt.Sprintf("iobuf: TrimEnd(%d) with view %d", n, b.length))
+	}
+	b.length -= n
+}
+
+// Next returns the following element of the chain (itself for a singleton).
+func (b *IOBuf) Next() *IOBuf { return b.next }
+
+// Prev returns the preceding element of the chain.
+func (b *IOBuf) Prev() *IOBuf { return b.prev }
+
+// IsChained reports whether the buffer is part of a multi-element chain.
+func (b *IOBuf) IsChained() bool { return b.next != b }
+
+// AppendChain links other's chain to the end of b's chain. After the call,
+// iterating from b reaches every element of both chains. other must not
+// already share a chain with b.
+func (b *IOBuf) AppendChain(other *IOBuf) {
+	if other == nil {
+		return
+	}
+	bTail := b.prev
+	oTail := other.prev
+	bTail.next = other
+	other.prev = bTail
+	oTail.next = b
+	b.prev = oTail
+}
+
+// Unlink removes b from its chain and returns the remainder's head (the
+// element that followed b), or nil if b was a singleton.
+func (b *IOBuf) Unlink() *IOBuf {
+	if !b.IsChained() {
+		return nil
+	}
+	next := b.next
+	b.prev.next = b.next
+	b.next.prev = b.prev
+	b.next = b
+	b.prev = b
+	return next
+}
+
+// CountChainElements reports the number of elements in the chain.
+func (b *IOBuf) CountChainElements() int {
+	n := 1
+	for cur := b.next; cur != b; cur = cur.next {
+		n++
+	}
+	return n
+}
+
+// ComputeChainDataLength reports the total view length across the chain.
+func (b *IOBuf) ComputeChainDataLength() int {
+	total := b.length
+	for cur := b.next; cur != b; cur = cur.next {
+		total += cur.length
+	}
+	return total
+}
+
+// CopyOut copies the whole chain's data into a single contiguous slice.
+// This is the explicit copy used only at simulation boundaries (and by the
+// forced-copy ablation); the fast path never calls it.
+func (b *IOBuf) CopyOut() []byte {
+	out := make([]byte, 0, b.ComputeChainDataLength())
+	out = append(out, b.Data()...)
+	for cur := b.next; cur != b; cur = cur.next {
+		out = append(out, cur.Data()...)
+	}
+	return out
+}
+
+// ForEach invokes fn on every element of the chain in order.
+func (b *IOBuf) ForEach(fn func(*IOBuf)) {
+	fn(b)
+	for cur := b.next; cur != b; cur = cur.next {
+		fn(cur)
+	}
+}
+
+// DataPointer is a cursor over a chain, used to parse protocol headers that
+// may straddle element boundaries. All multi-byte reads are big-endian
+// (network byte order).
+type DataPointer struct {
+	head *IOBuf
+	cur  *IOBuf
+	pos  int  // position within cur's view
+	done bool // cur has wrapped past the tail
+}
+
+// Reader returns a cursor positioned at the start of the chain.
+func (b *IOBuf) Reader() *DataPointer { return &DataPointer{head: b, cur: b} }
+
+// Remaining reports the bytes left between the cursor and the chain end.
+func (p *DataPointer) Remaining() int {
+	if p.done {
+		return 0
+	}
+	n := p.cur.Length() - p.pos
+	for cur := p.cur.next; cur != p.head; cur = cur.next {
+		n += cur.Length()
+	}
+	return n
+}
+
+func (p *DataPointer) advanceElement() bool {
+	for {
+		if p.cur.next == p.head {
+			p.done = true
+			return false
+		}
+		p.cur = p.cur.next
+		p.pos = 0
+		if p.cur.Length() > 0 {
+			return true
+		}
+	}
+}
+
+// ReadByte consumes one byte.
+func (p *DataPointer) ReadByte() (byte, error) {
+	for !p.done && p.pos >= p.cur.Length() {
+		if !p.advanceElement() {
+			break
+		}
+	}
+	if p.done || p.pos >= p.cur.Length() {
+		return 0, fmt.Errorf("iobuf: read past end of chain")
+	}
+	c := p.cur.Data()[p.pos]
+	p.pos++
+	return c, nil
+}
+
+// ReadBytes consumes n bytes. When the range lies within one element the
+// returned slice aliases the buffer (zero-copy); otherwise it is assembled.
+func (p *DataPointer) ReadBytes(n int) ([]byte, error) {
+	for !p.done && p.pos >= p.cur.Length() && n > 0 {
+		if !p.advanceElement() {
+			break
+		}
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	if !p.done && p.cur.Length()-p.pos >= n {
+		out := p.cur.Data()[p.pos : p.pos+n]
+		p.pos += n
+		return out, nil
+	}
+	out := make([]byte, n)
+	for i := 0; i < n; i++ {
+		c, err := p.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+// Skip consumes n bytes without returning them.
+func (p *DataPointer) Skip(n int) error {
+	for n > 0 {
+		if p.done {
+			return fmt.Errorf("iobuf: skip past end of chain")
+		}
+		avail := p.cur.Length() - p.pos
+		if avail >= n {
+			p.pos += n
+			return nil
+		}
+		n -= avail
+		p.pos = p.cur.Length()
+		if !p.advanceElement() {
+			return fmt.Errorf("iobuf: skip past end of chain")
+		}
+	}
+	return nil
+}
+
+// ReadUint16 consumes a big-endian uint16.
+func (p *DataPointer) ReadUint16() (uint16, error) {
+	b, err := p.ReadBytes(2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint16(b), nil
+}
+
+// ReadUint32 consumes a big-endian uint32.
+func (p *DataPointer) ReadUint32() (uint32, error) {
+	b, err := p.ReadBytes(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(b), nil
+}
+
+// ReadUint64 consumes a big-endian uint64.
+func (p *DataPointer) ReadUint64() (uint64, error) {
+	b, err := p.ReadBytes(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint64(b), nil
+}

@@ -1,0 +1,465 @@
+package jsvm
+
+import (
+	"fmt"
+
+	"ebbrt/internal/sim"
+)
+
+// Benchmark is one workload of the V8 suite (version 7), re-implemented
+// against the runtime's allocation API so its allocation, GC, and paging
+// behaviour is real while its arithmetic is charged as abstract work.
+type Benchmark struct {
+	Name string
+	Run  func(rt *Runtime)
+}
+
+// Suite returns the eight benchmarks of Figure 7 in the paper's order.
+func Suite() []Benchmark {
+	return []Benchmark{
+		{Name: "Crypto", Run: runCrypto},
+		{Name: "DeltaBlue", Run: runDeltaBlue},
+		{Name: "EarleyBoyer", Run: runEarleyBoyer},
+		{Name: "NavierStokes", Run: runNavierStokes},
+		{Name: "RayTrace", Run: runRayTrace},
+		{Name: "RegExp", Run: runRegExp},
+		{Name: "Richards", Run: runRichards},
+		{Name: "Splay", Run: runSplay},
+	}
+}
+
+// Score is one benchmark result under one environment.
+type Score struct {
+	Name    string
+	Elapsed sim.Time
+	Stats   string
+}
+
+// RunSuite executes the whole suite under env.
+func RunSuite(env Env) []Score {
+	var out []Score
+	for _, b := range Suite() {
+		rt := New(env)
+		b.Run(rt)
+		out = append(out, Score{Name: b.Name, Elapsed: rt.Elapsed(), Stats: rt.Stats()})
+	}
+	return out
+}
+
+// ---------------------------------------------------------------- Crypto
+
+// runCrypto models RSA-style bignum arithmetic: multi-precision multiply
+// and modular reduction over digit arrays. Compute-bound, tiny heap.
+func runCrypto(rt *Runtime) {
+	const digits = 64
+	a := rt.NewObject(digits)
+	b := rt.NewObject(digits)
+	rt.AddRoot(a)
+	rt.AddRoot(b)
+	for i := 0; i < digits; i++ {
+		a.Slots[i] = Num(float64((i*2654435761 + 12345) & 0xffff))
+		b.Slots[i] = Num(float64((i*40503 + 6789) & 0xffff))
+	}
+	acc := 0.0
+	for round := 0; round < 2500; round++ {
+		// Schoolbook multiply with modular reduction: digits^2 work.
+		prod := rt.NewObject(2 * digits)
+		rt.AddRoot(prod)
+		for i := 0; i < digits; i++ {
+			carry := 0.0
+			ai := a.Slots[i].Num
+			for j := 0; j < digits; j++ {
+				t := prod.Slots[i+j].Num + ai*b.Slots[j].Num + carry
+				carry = float64(int64(t) >> 16)
+				prod.Slots[i+j] = Num(float64(int64(t) & 0xffff))
+			}
+			rt.Work(digits * 6)
+		}
+		// Reduction pass.
+		for i := 2*digits - 1; i >= digits; i-- {
+			acc += prod.Slots[i].Num
+			rt.Work(8)
+		}
+		rt.RemoveRoot(prod)
+	}
+	if acc == 0 {
+		panic("jsvm: crypto accumulator degenerate")
+	}
+}
+
+// -------------------------------------------------------------- DeltaBlue
+
+// DeltaBlue slot layout for constraint objects.
+const (
+	dbValue = iota
+	dbStay
+	dbDetermined
+	dbSlotCount
+)
+
+// runDeltaBlue models the incremental constraint solver: chains of
+// variables connected by equality constraints, re-planned and executed
+// repeatedly. Object-graph heavy with moderate garbage.
+func runDeltaBlue(rt *Runtime) {
+	const chainLen = 200
+	for round := 0; round < 2500; round++ {
+		// Build a fresh constraint chain (the benchmark re-creates its
+		// graph each projection test).
+		vars := rt.NewObject(chainLen)
+		rt.AddRoot(vars)
+		for i := 0; i < chainLen; i++ {
+			v := rt.NewObject(dbSlotCount)
+			v.Slots[dbValue] = Num(0)
+			v.Slots[dbStay] = Num(1)
+			vars.Slots[i] = Obj(v)
+			rt.Work(12)
+		}
+		// Plan: walk the chain determining each variable from its
+		// upstream neighbour; execute the plan several times.
+		for exec := 0; exec < 6; exec++ {
+			val := float64(round)
+			for i := 0; i < chainLen; i++ {
+				v := vars.Slots[i].Obj
+				v.Slots[dbValue] = Num(val)
+				v.Slots[dbDetermined] = Num(1)
+				val = val*0.999 + 1
+				rt.Work(9)
+			}
+		}
+		rt.RemoveRoot(vars)
+	}
+}
+
+// ------------------------------------------------------------ EarleyBoyer
+
+// Cons-cell layout.
+const (
+	consCar = iota
+	consCdr
+	consTag
+	consSlots
+)
+
+// runEarleyBoyer models the symbolic rewrite workload: build s-expression
+// trees, rewrite them by rule application, discard. Allocation heavy with
+// short-lived structures.
+func runEarleyBoyer(rt *Runtime) {
+	var build func(rt *Runtime, depth, seed int) *Object
+	build = func(rt *Runtime, depth, seed int) *Object {
+		c := rt.NewObject(consSlots)
+		c.Slots[consTag] = Num(float64(seed % 7))
+		if depth > 0 {
+			c.Slots[consCar] = Obj(build(rt, depth-1, seed*31+1))
+			c.Slots[consCdr] = Obj(build(rt, depth-1, seed*17+2))
+		}
+		rt.Work(7)
+		return c
+	}
+	var rewrite func(rt *Runtime, o *Object, depth int) *Object
+	rewrite = func(rt *Runtime, o *Object, depth int) *Object {
+		rt.Work(5)
+		if o == nil || depth == 0 {
+			return o
+		}
+		// Rule: swap children and bump the tag - allocating a new cell,
+		// as the Scheme original's rewriting does.
+		n := rt.NewObject(consSlots)
+		n.Slots[consTag] = Num(float64(int(o.Slots[consTag].Num+1) % 7))
+		if o.Slots[consCar].Kind == KindObject {
+			n.Slots[consCdr] = Obj(rewrite(rt, o.Slots[consCar].Obj, depth-1))
+		}
+		if o.Slots[consCdr].Kind == KindObject {
+			n.Slots[consCar] = Obj(rewrite(rt, o.Slots[consCdr].Obj, depth-1))
+		}
+		return n
+	}
+	for round := 0; round < 1000; round++ {
+		tree := build(rt, 9, round)
+		rt.AddRoot(tree)
+		out := rewrite(rt, tree, 9)
+		rt.RemoveRoot(tree)
+		if out == nil {
+			panic("jsvm: earley-boyer degenerate")
+		}
+	}
+}
+
+// ----------------------------------------------------------- NavierStokes
+
+// runNavierStokes models the fluid solver: stencil sweeps over dense
+// float arrays. Nearly pure compute; the grid is allocated once.
+func runNavierStokes(rt *Runtime) {
+	const n = 128
+	grid := rt.NewObject(n * n)
+	next := rt.NewObject(n * n)
+	rt.AddRoot(grid)
+	rt.AddRoot(next)
+	for i := range grid.Slots {
+		grid.Slots[i] = Num(float64(i%97) * 0.01)
+	}
+	for step := 0; step < 700; step++ {
+		for y := 1; y < n-1; y++ {
+			for x := 1; x < n-1; x++ {
+				i := y*n + x
+				v := (grid.Slots[i-1].Num + grid.Slots[i+1].Num +
+					grid.Slots[i-n].Num + grid.Slots[i+n].Num) * 0.25
+				next.Slots[i] = Num(v*0.99 + grid.Slots[i].Num*0.01)
+			}
+			rt.Work((n - 2) * 7)
+		}
+		grid, next = next, grid
+	}
+}
+
+// --------------------------------------------------------------- RayTrace
+
+// Vector slot layout.
+const (
+	vecX = iota
+	vecY
+	vecZ
+	vecSlots
+)
+
+func (rt *Runtime) vec(x, y, z float64) *Object {
+	v := rt.NewObject(vecSlots)
+	v.Slots[vecX] = Num(x)
+	v.Slots[vecY] = Num(y)
+	v.Slots[vecZ] = Num(z)
+	return v
+}
+
+// runRayTrace models the ray tracer: per-ray temporary vector objects
+// (the V8 original is notorious for temporary allocation pressure).
+func runRayTrace(rt *Runtime) {
+	const width, height = 96, 96
+	// Scene: a few spheres held live.
+	scene := rt.NewObject(8)
+	rt.AddRoot(scene)
+	for i := 0; i < 8; i++ {
+		s := rt.NewObject(4)
+		s.Slots[0] = Num(float64(i) - 4)     // x
+		s.Slots[1] = Num(float64(i % 3))     // y
+		s.Slots[2] = Num(5 + float64(i))     // z
+		s.Slots[3] = Num(0.5 + float64(i%2)) // r
+		scene.Slots[i] = Obj(s)
+	}
+	shade := 0.0
+	for frame := 0; frame < 25; frame++ {
+		for py := 0; py < height; py++ {
+			for px := 0; px < width; px++ {
+				// Ray direction and per-sphere intersection temporaries.
+				dir := rt.vec(float64(px)/width-0.5, float64(py)/height-0.5, 1)
+				bestT := 1e18
+				for i := 0; i < 8; i++ {
+					s := scene.Slots[i].Obj
+					oc := rt.vec(-s.Slots[0].Num, -s.Slots[1].Num, -s.Slots[2].Num)
+					b := oc.Slots[vecX].Num*dir.Slots[vecX].Num +
+						oc.Slots[vecY].Num*dir.Slots[vecY].Num +
+						oc.Slots[vecZ].Num*dir.Slots[vecZ].Num
+					cc := oc.Slots[vecX].Num*oc.Slots[vecX].Num +
+						oc.Slots[vecY].Num*oc.Slots[vecY].Num +
+						oc.Slots[vecZ].Num*oc.Slots[vecZ].Num -
+						s.Slots[3].Num*s.Slots[3].Num
+					disc := b*b - cc
+					if disc > 0 && -b < bestT {
+						bestT = -b
+					}
+					rt.Work(22)
+				}
+				if bestT < 1e18 {
+					shade += 1 / bestT
+				}
+			}
+		}
+	}
+	_ = shade
+}
+
+// ----------------------------------------------------------------- RegExp
+
+// runRegExp models the regexp workload: NFA simulation over generated
+// strings. String allocation plus scanning work.
+func runRegExp(rt *Runtime) {
+	// Pattern: (ab|ba)*c - a tiny NFA with 4 states.
+	type edge struct {
+		from, to int
+		ch       byte
+	}
+	nfa := []edge{{0, 1, 'a'}, {1, 0, 'b'}, {0, 2, 'b'}, {2, 0, 'a'}, {0, 3, 'c'}}
+	rng := sim.NewRng(1234)
+	matches := 0
+	for round := 0; round < 50000; round++ {
+		// Generate a subject string (allocated in the VM heap).
+		n := 64 + rng.Intn(192)
+		raw := make([]byte, n)
+		for i := range raw {
+			raw[i] = "abc"[rng.Intn(3)]
+		}
+		sv := rt.NewString(string(raw))
+		subject := sv.Str
+		// Simulate the NFA at every start offset.
+		for start := 0; start < len(subject); start += 4 {
+			state := 0
+			for i := start; i < len(subject); i++ {
+				moved := false
+				for _, e := range nfa {
+					if e.from == state && e.ch == subject[i] {
+						state = e.to
+						moved = true
+						break
+					}
+				}
+				rt.Work(6)
+				if !moved {
+					break
+				}
+				if state == 3 {
+					matches++
+					break
+				}
+			}
+		}
+	}
+	if matches == 0 {
+		panic("jsvm: regexp matched nothing")
+	}
+}
+
+// --------------------------------------------------------------- Richards
+
+// Task slot layout for the Richards OS-kernel simulation.
+const (
+	taskID = iota
+	taskPri
+	taskState
+	taskWork
+	taskSlots
+)
+
+// runRichards models the task scheduler benchmark: a handful of long-lived
+// task objects exchanging packet objects.
+func runRichards(rt *Runtime) {
+	const nTasks = 6
+	tasks := rt.NewObject(nTasks)
+	rt.AddRoot(tasks)
+	for i := 0; i < nTasks; i++ {
+		task := rt.NewObject(taskSlots)
+		task.Slots[taskID] = Num(float64(i))
+		task.Slots[taskPri] = Num(float64(nTasks - i))
+		task.Slots[taskState] = Num(0)
+		tasks.Slots[i] = Obj(task)
+	}
+	queue := rt.NewObject(64) // packet ring
+	rt.AddRoot(queue)
+	head, tail := 0, 0
+	enq := func(pkt *Object) {
+		queue.Slots[tail%64] = Obj(pkt)
+		tail++
+	}
+	for i := 0; i < 8; i++ {
+		p := rt.NewObject(3)
+		p.Slots[0] = Num(float64(i % nTasks))
+		enq(p)
+	}
+	for iter := 0; iter < 1200000; iter++ {
+		if head == tail {
+			break
+		}
+		pkt := queue.Slots[head%64].Obj
+		queue.Slots[head%64] = Undefined
+		head++
+		dst := int(pkt.Slots[0].Num)
+		task := tasks.Slots[dst].Obj
+		task.Slots[taskWork] = Num(task.Slots[taskWork].Num + 1)
+		rt.Work(95)
+		// Forward the packet (allocate a successor ~1/4 of the time,
+		// reuse otherwise - packets are mostly recycled in the original).
+		if iter%4 == 0 {
+			np := rt.NewObject(3)
+			np.Slots[0] = Num(float64((dst + 1) % nTasks))
+			enq(np)
+		} else {
+			pkt.Slots[0] = Num(float64((dst + 3) % nTasks))
+			enq(pkt)
+		}
+	}
+}
+
+// ------------------------------------------------------------------ Splay
+
+// Splay tree node layout.
+const (
+	splayKey = iota
+	splayLeft
+	splayRight
+	splayPayloadA
+	splayPayloadB
+	splaySlots
+)
+
+// runSplay is the memory-management stress of the suite: a large resident
+// population of payload-bearing tree nodes with constant churn - the
+// benchmark where the paper reports EbbRT's largest win (13.9%). Each
+// insert allocates a node plus its payload tree (as the original's
+// GeneratePayloadTree does) and retires the oldest resident node, so the
+// working set stays around ten megabytes while allocation streams through
+// it - precisely the pattern that makes the guest OS fault on heap growth.
+func runSplay(rt *Runtime) {
+	const resident = 25000
+	const churn = 200000
+	const payloadSlots = 20
+	rng := sim.NewRng(555)
+
+	registry := rt.NewObject(resident) // the live population, round-robin
+	rt.AddRoot(registry)
+
+	newNode := func(key float64) *Object {
+		n := rt.NewObject(splaySlots)
+		n.Slots[splayKey] = Num(key)
+		pay := rt.NewObject(payloadSlots)
+		for i := 0; i < payloadSlots; i++ {
+			pay.Slots[i] = Num(key + float64(i))
+		}
+		n.Slots[splayPayloadA] = Obj(pay)
+		n.Slots[splayPayloadB] = rt.NewString(fmt.Sprintf("String for key %d in leaf node", int(key)))
+		return n
+	}
+
+	// insertAndSplay links the new node under a pseudo-random path of
+	// resident nodes (BST walk by key) and rotates it up - charging the
+	// traversal and rotation work of the original's splay operation.
+	slot := 0
+	insertAndSplay := func(key float64) {
+		nn := newNode(key)
+		rt.Work(60)
+		// Walk a key-directed path through the resident registry,
+		// splicing child links, like descending the splay tree.
+		idx := int(uint32(key)) % resident
+		for depth := 0; depth < 14; depth++ {
+			rt.Work(14)
+			cur := registry.Slots[idx]
+			if cur.Kind != KindObject {
+				break
+			}
+			side := splayLeft
+			if key > cur.Obj.Slots[splayKey].Num {
+				side = splayRight
+			}
+			cur.Obj.Slots[side] = Obj(nn)
+			idx = (idx*31 + 7) % resident
+		}
+		rt.Work(40) // rotations to the root
+		// The new node replaces the oldest resident, which becomes
+		// garbage together with its payload tree.
+		registry.Slots[slot] = Obj(nn)
+		slot = (slot + 1) % resident
+	}
+
+	for i := 0; i < resident; i++ {
+		insertAndSplay(float64(rng.Intn(1 << 30)))
+	}
+	for i := 0; i < churn; i++ {
+		insertAndSplay(float64(rng.Intn(1 << 30)))
+	}
+}

@@ -1,0 +1,302 @@
+// Package load implements the evaluation's load generators: a
+// mutilate-style memcached client generating the Facebook ETC workload
+// (paper §4.2) and a wrk-style HTTP client (paper §4.3, Table 2).
+//
+// Both are open-loop: requests arrive by a Poisson process at a target
+// rate regardless of completions, so server queueing shows up as latency -
+// the methodology behind the paper's latency-vs-throughput curves.
+package load
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ebbrt/internal/apps/appnet"
+	"ebbrt/internal/apps/memcached"
+	"ebbrt/internal/event"
+	"ebbrt/internal/iobuf"
+	"ebbrt/internal/sim"
+)
+
+// ETCConfig describes the Facebook ETC workload statistics the paper
+// configures mutilate with: 20-70 byte keys, values mostly 1-1024 bytes,
+// skewed key popularity, 90% GETs.
+type ETCConfig struct {
+	KeySpace  int
+	KeyMin    int
+	KeyMax    int
+	ValueMax  int
+	ValueMean float64
+	GetRatio  float64
+	ZipfSkew  float64
+}
+
+// DefaultETC returns the workload used throughout the harness.
+func DefaultETC() ETCConfig {
+	return ETCConfig{
+		KeySpace:  20000,
+		KeyMin:    20,
+		KeyMax:    70,
+		ValueMax:  1024,
+		ValueMean: 220,
+		GetRatio:  0.9,
+		ZipfSkew:  1.05,
+	}
+}
+
+// Workload is a pre-generated ETC key/value population plus samplers.
+type Workload struct {
+	cfg    ETCConfig
+	Keys   [][]byte
+	Values [][]byte
+	zipf   *sim.Zipf
+	rng    *sim.Rng
+}
+
+// NewWorkload builds a deterministic workload from a seed.
+func NewWorkload(cfg ETCConfig, seed uint64) *Workload {
+	rng := sim.NewRng(seed)
+	w := &Workload{cfg: cfg, rng: rng}
+	w.Keys = make([][]byte, cfg.KeySpace)
+	w.Values = make([][]byte, cfg.KeySpace)
+	for i := range w.Keys {
+		klen := rng.IntRange(cfg.KeyMin, cfg.KeyMax)
+		key := make([]byte, klen)
+		// Distinct prefix guarantees uniqueness; the rest is filler.
+		n := binary.PutUvarint(key, uint64(i)+1)
+		for j := n; j < klen; j++ {
+			key[j] = byte('a' + (i+j)%26)
+		}
+		w.Keys[i] = key
+		w.Values[i] = w.newValue()
+	}
+	w.zipf = sim.NewZipf(rng, cfg.ZipfSkew, cfg.KeySpace)
+	return w
+}
+
+func (w *Workload) newValue() []byte {
+	vlen := int(w.rng.Exp(w.cfg.ValueMean)) + 1
+	if vlen > w.cfg.ValueMax {
+		vlen = w.cfg.ValueMax
+	}
+	v := make([]byte, vlen)
+	for j := range v {
+		v[j] = byte('0' + j%10)
+	}
+	return v
+}
+
+// NextOp samples the next operation: a key index and whether it is a GET.
+func (w *Workload) NextOp() (int, bool) {
+	return w.zipf.Next(), w.rng.Float64() < w.cfg.GetRatio
+}
+
+// MutilateConfig drives one load point.
+type MutilateConfig struct {
+	Connections int
+	Pipeline    int
+	TargetRPS   float64
+	Warmup      sim.Time
+	Duration    sim.Time
+	Seed        uint64
+	ETC         ETCConfig
+}
+
+// DefaultMutilate mirrors the paper's setup: pipeline depth 4 over TCP.
+func DefaultMutilate(targetRPS float64) MutilateConfig {
+	return MutilateConfig{
+		Connections: 16,
+		Pipeline:    4,
+		TargetRPS:   targetRPS,
+		Warmup:      30 * sim.Millisecond,
+		Duration:    250 * sim.Millisecond,
+		Seed:        42,
+		ETC:         DefaultETC(),
+	}
+}
+
+// MutilateResult is one point of a Figure 5/6 curve.
+type MutilateResult struct {
+	TargetRPS   float64
+	AchievedRPS float64
+	Mean        sim.Time
+	P99         sim.Time
+	Samples     int
+}
+
+// String renders the point like the paper's axes.
+func (r MutilateResult) String() string {
+	return fmt.Sprintf("target=%.0f achieved=%.0f mean=%.1fus p99=%.1fus n=%d",
+		r.TargetRPS, r.AchievedRPS, r.Mean.Micros(), r.P99.Micros(), r.Samples)
+}
+
+// pendingReq is a generated request waiting for or in flight to the server.
+type pendingReq struct {
+	arrival sim.Time
+	keyIdx  int
+	isGet   bool
+}
+
+// mconn is one load-generator connection.
+type mconn struct {
+	m           *mutilate
+	conn        appnet.Conn
+	mgr         *event.Manager
+	queue       []pendingReq
+	inflight    map[uint32]sim.Time // opaque -> arrival time
+	nextOpaque  uint32
+	outstanding int
+	rx          []byte
+	connected   bool
+}
+
+// mutilate is the running load generator.
+type mutilate struct {
+	cfg       MutilateConfig
+	work      *Workload
+	client    appnet.Runtime
+	conns     []*mconn
+	rec       *sim.Recorder
+	completed uint64
+	measStart sim.Time
+	measEnd   sim.Time
+	arrRng    *sim.Rng
+	rrNext    int
+}
+
+// RunMutilate drives one load point against a memcached server already
+// listening on the server runtime. dial connects one connection (injected
+// to avoid coupling to the testbed package).
+func RunMutilate(client appnet.Runtime, dial func(c *event.Ctx, cb appnet.Callbacks, onConnect func(*event.Ctx, appnet.Conn)), srv *memcached.Server, cfg MutilateConfig) MutilateResult {
+	work := NewWorkload(cfg.ETC, cfg.Seed)
+	srv.Prepopulate(work.Keys, work.Values)
+
+	m := &mutilate{
+		cfg:    cfg,
+		work:   work,
+		client: client,
+		rec:    sim.NewRecorder(int(cfg.TargetRPS * float64(cfg.Duration) / 1e9)),
+		arrRng: sim.NewRng(cfg.Seed ^ 0x9e3779b9),
+	}
+	k := client.Kernel()
+	mgrs := client.Mgrs()
+
+	// Open connections round-robin across client cores.
+	for i := 0; i < cfg.Connections; i++ {
+		mc := &mconn{m: m, mgr: mgrs[i%len(mgrs)], inflight: map[uint32]sim.Time{}}
+		m.conns = append(m.conns, mc)
+		mc.mgr.Spawn(func(c *event.Ctx) {
+			dial(c, appnet.Callbacks{
+				OnData: func(c *event.Ctx, conn appnet.Conn, payload *iobuf.IOBuf) {
+					mc.onData(c, payload)
+				},
+			}, func(c *event.Ctx, conn appnet.Conn) {
+				mc.conn = conn
+				mc.connected = true
+			})
+		})
+	}
+
+	// Let handshakes finish, then start the arrival process.
+	setup := 5 * sim.Millisecond
+	m.measStart = setup + cfg.Warmup
+	m.measEnd = m.measStart + cfg.Duration
+	k.RunUntil(setup)
+	m.scheduleNextArrival(k)
+	k.RunUntil(m.measEnd + 20*sim.Millisecond)
+
+	res := MutilateResult{
+		TargetRPS:   cfg.TargetRPS,
+		AchievedRPS: float64(m.completed) / (float64(cfg.Duration) / 1e9),
+		Mean:        m.rec.Mean(),
+		P99:         m.rec.Percentile(99),
+		Samples:     m.rec.Count(),
+	}
+	return res
+}
+
+// scheduleNextArrival generates the open-loop Poisson arrivals.
+func (m *mutilate) scheduleNextArrival(k *sim.Kernel) {
+	gap := m.arrRng.Exp(1e9 / m.cfg.TargetRPS) // ns between arrivals
+	k.After(sim.Time(gap), func() {
+		if k.Now() >= m.measEnd {
+			return
+		}
+		keyIdx, isGet := m.work.NextOp()
+		mc := m.conns[m.rrNext%len(m.conns)]
+		m.rrNext++
+		req := pendingReq{arrival: k.Now(), keyIdx: keyIdx, isGet: isGet}
+		mc.mgr.Spawn(func(c *event.Ctx) { mc.submit(c, req) })
+		m.scheduleNextArrival(k)
+	})
+}
+
+// submit queues a request and pumps the pipeline.
+func (mc *mconn) submit(c *event.Ctx, req pendingReq) {
+	mc.queue = append(mc.queue, req)
+	mc.pump(c)
+}
+
+// pump sends queued requests up to the pipeline limit.
+func (mc *mconn) pump(c *event.Ctx) {
+	if !mc.connected {
+		return
+	}
+	for mc.outstanding < mc.m.cfg.Pipeline && len(mc.queue) > 0 {
+		req := mc.queue[0]
+		mc.queue = mc.queue[1:]
+		opaque := mc.nextOpaque
+		mc.nextOpaque++
+		var packet []byte
+		if req.isGet {
+			packet = memcached.BuildGet(mc.m.work.Keys[req.keyIdx], opaque)
+		} else {
+			packet = memcached.BuildSet(mc.m.work.Keys[req.keyIdx], mc.m.work.newValue(), 0, opaque)
+		}
+		mc.inflight[opaque] = req.arrival
+		mc.outstanding++
+		mc.conn.Send(c, iobuf.Wrap(packet))
+	}
+}
+
+// onData parses responses and records latency.
+func (mc *mconn) onData(c *event.Ctx, payload *iobuf.IOBuf) {
+	data := payload.CopyOut()
+	if len(mc.rx) > 0 {
+		mc.rx = append(mc.rx, data...)
+		data = mc.rx
+	}
+	consumed := 0
+	for {
+		rest := data[consumed:]
+		if len(rest) < memcached.HeaderLen {
+			break
+		}
+		hdr, err := memcached.ParseHeader(rest)
+		if err != nil {
+			break
+		}
+		total := memcached.HeaderLen + int(hdr.BodyLen)
+		if len(rest) < total {
+			break
+		}
+		consumed += total
+		arrival, ok := mc.inflight[hdr.Opaque]
+		if !ok {
+			continue
+		}
+		delete(mc.inflight, hdr.Opaque)
+		mc.outstanding--
+		now := c.Now()
+		if arrival >= mc.m.measStart && now <= mc.m.measEnd {
+			mc.m.rec.Add(now - arrival)
+			mc.m.completed++
+		}
+	}
+	if consumed < len(data) {
+		mc.rx = append(mc.rx[:0], data[consumed:]...)
+	} else {
+		mc.rx = mc.rx[:0]
+	}
+	mc.pump(c)
+}

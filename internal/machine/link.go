@@ -1,0 +1,137 @@
+package machine
+
+import (
+	"ebbrt/internal/sim"
+)
+
+// Link is a full-duplex point-to-point Ethernet link with finite bandwidth
+// and propagation delay, like the directly-connected 10GbE pair in the
+// paper's testbed. Each direction serializes frames independently.
+type Link struct {
+	K *sim.Kernel
+	// BitsPerSecond is the line rate (default 10 Gb/s).
+	BitsPerSecond float64
+	// Propagation is the one-way flight time.
+	Propagation sim.Time
+	// DropFn, when set, is consulted per frame (with a monotonically
+	// increasing index) and may drop it - fault injection for
+	// retransmission tests. Deterministic by construction.
+	DropFn func(index uint64, f Frame) bool
+
+	a, b       Port
+	aBusyUntil sim.Time // a -> b direction
+	bBusyUntil sim.Time // b -> a direction
+	frameIndex uint64
+}
+
+// NewLink creates a 10GbE-like link between two NICs and attaches both.
+func NewLink(k *sim.Kernel, a, b *NIC) *Link {
+	l := &Link{K: k, BitsPerSecond: 10e9, Propagation: 300 * sim.Nanosecond}
+	l.a = PortOf(a)
+	l.b = PortOf(b)
+	a.Attach(linkEnd{l, true})
+	b.Attach(linkEnd{l, false})
+	return l
+}
+
+func (l *Link) serialization(bytes int) sim.Time {
+	return sim.Time(float64(bytes*8) / l.BitsPerSecond * 1e9)
+}
+
+func (l *Link) send(f Frame, fromA bool) {
+	idx := l.frameIndex
+	l.frameIndex++
+	if l.DropFn != nil && l.DropFn(idx, f) {
+		return
+	}
+	now := l.K.Now()
+	busy := &l.aBusyUntil
+	dst := l.b
+	if !fromA {
+		busy = &l.bBusyUntil
+		dst = l.a
+	}
+	start := now
+	if *busy > start {
+		start = *busy
+	}
+	txDone := start + l.serialization(f.Len())
+	*busy = txDone
+	l.K.At(txDone+l.Propagation, func() { dst.Send(f) })
+}
+
+// linkEnd is the Port a NIC transmits into.
+type linkEnd struct {
+	l     *Link
+	fromA bool
+}
+
+func (e linkEnd) Send(f Frame) { e.l.send(f, e.fromA) }
+
+// Switch is a learning Ethernet switch with per-output-port serialization.
+// Multi-node deployments (hosted frontend plus native backends, paper §2.1)
+// hang all machines off one switch.
+type Switch struct {
+	K *sim.Kernel
+	// BitsPerSecond is each port's line rate.
+	BitsPerSecond float64
+	// Latency is the store-and-forward switching delay.
+	Latency sim.Time
+
+	ports []*switchPort
+	table map[MAC]*switchPort
+}
+
+// NewSwitch creates an empty switch.
+func NewSwitch(k *sim.Kernel) *Switch {
+	return &Switch{K: k, BitsPerSecond: 10e9, Latency: 500 * sim.Nanosecond, table: map[MAC]*switchPort{}}
+}
+
+// Connect attaches a NIC to a new switch port.
+func (s *Switch) Connect(n *NIC) {
+	p := &switchPort{sw: s, nic: n}
+	s.ports = append(s.ports, p)
+	n.Attach(p)
+}
+
+func (s *Switch) forward(f Frame, from *switchPort) {
+	// Learn the source address.
+	var src MAC
+	r := f.Buf.Reader()
+	if err := r.Skip(6); err == nil {
+		if b, err := r.ReadBytes(6); err == nil {
+			copy(src[:], b)
+			s.table[src] = from
+		}
+	}
+	dst := f.DstMAC()
+	if out, ok := s.table[dst]; ok && !dst.IsBroadcast() {
+		s.deliver(f, out)
+		return
+	}
+	// Flood: broadcast or unknown destination.
+	for _, p := range s.ports {
+		if p != from {
+			s.deliver(f, p)
+		}
+	}
+}
+
+func (s *Switch) deliver(f Frame, out *switchPort) {
+	now := s.K.Now()
+	start := now + s.Latency
+	if out.busyUntil > start {
+		start = out.busyUntil
+	}
+	done := start + sim.Time(float64(f.Len()*8)/s.BitsPerSecond*1e9)
+	out.busyUntil = done
+	s.K.At(done, func() { out.nic.Deliver(f) })
+}
+
+type switchPort struct {
+	sw        *Switch
+	nic       *NIC
+	busyUntil sim.Time
+}
+
+func (p *switchPort) Send(f Frame) { p.sw.forward(f, p) }

@@ -1,0 +1,165 @@
+// Package machine models the hardware substrate EbbRT runs on: multicore
+// machines with interrupt delivery and masking, virtio-style NICs with
+// multi-queue receive-side scaling, point-to-point links, and a learning
+// switch.
+//
+// This package is the substitution for the paper's physical testbed (two
+// Xeon servers with Intel X520 10GbE NICs running KVM guests). The EbbRT
+// runtime logic above it - event loops, drivers, network stack - is real
+// code; only the silicon and the hypervisor's packet path are cost models.
+// All behaviour is deterministic: the machine schedules everything on a
+// sim.Kernel.
+package machine
+
+import (
+	"fmt"
+
+	"ebbrt/internal/sim"
+)
+
+// Config describes one machine.
+type Config struct {
+	// Name identifies the machine in logs and experiment output.
+	Name string
+	// Cores is the number of processor cores.
+	Cores int
+	// NumaNodes is the number of memory domains; cores are distributed
+	// round-robin-contiguously (cores/nodes per node).
+	NumaNodes int
+	// GHz is the core clock, used to convert cycle costs to time. The
+	// paper's server runs at 2.6 GHz.
+	GHz float64
+	// Virtualized adds the hypervisor's virtio/vhost costs to every
+	// packet (paper §4: EbbRT targets KVM guests; Linux is measured both
+	// virtualized and native).
+	Virtualized bool
+	// NICQueues is the number of NIC receive queues. Multiqueue enables
+	// flow steering across cores; OSv's virtio-net lacked it (paper §4.2).
+	NICQueues int
+	// Costs is the device/hypervisor cost model. Zero-valued fields are
+	// filled with defaults by New.
+	Costs CostModel
+}
+
+// DefaultConfig returns a configuration resembling one guest of the paper's
+// testbed: the given number of cores at 2.6 GHz on 2 NUMA nodes.
+func DefaultConfig(name string, cores int) Config {
+	return Config{
+		Name:        name,
+		Cores:       cores,
+		NumaNodes:   2,
+		GHz:         2.6,
+		Virtualized: true,
+		NICQueues:   cores,
+	}
+}
+
+// Machine is a simulated host: cores plus devices.
+type Machine struct {
+	K     *sim.Kernel
+	Cfg   Config
+	Cores []*Core
+	NICs  []*NIC
+}
+
+// New creates a machine attached to the kernel.
+func New(k *sim.Kernel, cfg Config) *Machine {
+	if cfg.Cores <= 0 {
+		panic("machine: config needs at least one core")
+	}
+	if cfg.NumaNodes <= 0 {
+		cfg.NumaNodes = 1
+	}
+	if cfg.GHz == 0 {
+		cfg.GHz = 2.6
+	}
+	if cfg.NICQueues <= 0 {
+		cfg.NICQueues = 1
+	}
+	cfg.Costs.applyDefaults()
+	m := &Machine{K: k, Cfg: cfg}
+	perNode := (cfg.Cores + cfg.NumaNodes - 1) / cfg.NumaNodes
+	for i := 0; i < cfg.Cores; i++ {
+		m.Cores = append(m.Cores, &Core{
+			M:    m,
+			ID:   i,
+			Node: i / perNode,
+		})
+	}
+	return m
+}
+
+// Cycles converts a cycle count into virtual time at this machine's clock.
+func (m *Machine) Cycles(n float64) sim.Time {
+	return sim.Time(n / m.Cfg.GHz)
+}
+
+// String identifies the machine.
+func (m *Machine) String() string { return m.Cfg.Name }
+
+// Core is one processor. The event manager (native) or scheduler model
+// (GPOS baseline) installs a dispatcher and drives interrupt masking.
+//
+// Interrupt semantics: a raised vector is delivered immediately - by
+// calling the dispatcher - only when interrupts are enabled and the core is
+// halted. Otherwise it is latched and the runtime collects it with
+// TakePending when it re-enables interrupts, exactly the window the paper's
+// event loop opens between events.
+type Core struct {
+	M    *Machine
+	ID   int
+	Node int
+
+	dispatcher  func(vec int)
+	pending     []int
+	intsEnabled bool
+	halted      bool
+}
+
+// SetDispatcher installs the runtime's interrupt entry point.
+func (c *Core) SetDispatcher(f func(vec int)) { c.dispatcher = f }
+
+// RaiseIRQ delivers vector vec to the core. Devices call this from kernel
+// events; delivery is synchronous when the core is halted with interrupts
+// enabled, otherwise the vector is latched.
+func (c *Core) RaiseIRQ(vec int) {
+	if c.intsEnabled && c.halted {
+		c.halted = false
+		if c.dispatcher == nil {
+			panic(fmt.Sprintf("machine %s core %d: IRQ %d with no dispatcher", c.M, c.ID, vec))
+		}
+		c.dispatcher(vec)
+		return
+	}
+	c.pending = append(c.pending, vec)
+}
+
+// EnableInterrupts sets the interrupt flag (does not drain latched vectors;
+// use TakePending for that, mirroring the explicit window in the event loop).
+func (c *Core) EnableInterrupts() { c.intsEnabled = true }
+
+// DisableInterrupts clears the interrupt flag.
+func (c *Core) DisableInterrupts() { c.intsEnabled = false }
+
+// InterruptsEnabled reports the interrupt flag.
+func (c *Core) InterruptsEnabled() bool { return c.intsEnabled }
+
+// Halt marks the core idle awaiting an interrupt. The next RaiseIRQ with
+// interrupts enabled wakes it through the dispatcher.
+func (c *Core) Halt() { c.halted = true }
+
+// Halted reports whether the core is halted.
+func (c *Core) Halted() bool { return c.halted }
+
+// HasPending reports whether latched vectors await collection.
+func (c *Core) HasPending() bool { return len(c.pending) > 0 }
+
+// TakePending returns and clears all latched vectors in arrival order.
+func (c *Core) TakePending() []int {
+	p := c.pending
+	c.pending = nil
+	return p
+}
+
+// Cycles converts cycles to time at the machine's clock.
+func (c *Core) Cycles(n float64) sim.Time { return c.M.Cycles(n) }

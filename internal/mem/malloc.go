@@ -1,0 +1,116 @@
+package mem
+
+import (
+	"fmt"
+	"sync"
+)
+
+// sizeClasses are the slab object sizes behind the general-purpose
+// allocator. A request is served by the smallest class that fits;
+// anything larger goes straight to the page allocator through a virtual
+// region (paper §3.4).
+var sizeClasses = []int{8, 16, 32, 64, 96, 128, 192, 256, 512, 1024, 2048, 4096}
+
+// classOf maps size-1 to its class index for O(1) routing - the analogue
+// of the compile-time constant folding the paper notes lets a malloc with
+// a known size lower into a direct slab invocation.
+var classOf [PageSize]int8
+
+func init() {
+	ci := 0
+	for sz := 1; sz <= PageSize; sz++ {
+		if sz > sizeClasses[ci] {
+			ci++
+		}
+		classOf[sz-1] = int8(ci)
+	}
+}
+
+// Malloc is the general-purpose allocator Ebb: a family of slab allocators
+// plus a large-object path. Because the class sizes are compile-time
+// constants in the C++ system, calls with constant sizes optimize to a
+// direct slab invocation; here the class lookup is a small search.
+type Malloc struct {
+	pages   *PageAllocator
+	slabs   []*SlabAllocator
+	largeMu sync.Mutex
+	large   map[Addr]int // addr -> page order
+}
+
+// NewMalloc builds the allocator family for a machine with the given core
+// count and core->node mapping.
+func NewMalloc(pages *PageAllocator, cores int, coreNode func(int) int) *Malloc {
+	m := &Malloc{pages: pages, large: map[Addr]int{}}
+	for _, sz := range sizeClasses {
+		m.slabs = append(m.slabs, NewSlabAllocator(pages, sz, cores, coreNode))
+	}
+	return m
+}
+
+// classFor returns the slab index serving size, or -1 for large requests.
+func classFor(size int) int {
+	if size > PageSize {
+		return -1
+	}
+	return int(classOf[size-1])
+}
+
+// Alloc allocates size bytes on the given core.
+func (m *Malloc) Alloc(core, size int) (Addr, bool) {
+	if size <= 0 {
+		panic(fmt.Sprintf("mem: malloc of %d bytes", size))
+	}
+	if ci := classFor(size); ci >= 0 {
+		return m.slabs[ci].Alloc(core)
+	}
+	return m.allocLarge(core, size)
+}
+
+func (m *Malloc) allocLarge(core, size int) (Addr, bool) {
+	order := 0
+	for (PageSize << order) < size {
+		order++
+	}
+	if order > MaxOrder {
+		return 0, false
+	}
+	a, ok := m.pages.Alloc(order, 0)
+	if !ok {
+		return 0, false
+	}
+	m.largeMu.Lock()
+	m.large[a] = order
+	m.largeMu.Unlock()
+	return a, true
+}
+
+// Free releases an allocation of the given size from the given core. Size
+// must match the allocation (sized delete), which is how the slab owning
+// the object is found without per-object headers.
+func (m *Malloc) Free(core int, a Addr, size int) {
+	if ci := classFor(size); ci >= 0 {
+		m.slabs[ci].Free(core, a)
+		return
+	}
+	m.largeMu.Lock()
+	order, ok := m.large[a]
+	if ok {
+		delete(m.large, a)
+	}
+	m.largeMu.Unlock()
+	if !ok {
+		panic(fmt.Sprintf("mem: large free of unknown address %#x", a))
+	}
+	m.pages.Free(a, order)
+}
+
+// SlabFor exposes the slab serving a size class (the compile-time
+// optimization path the paper describes, where a constant-size malloc
+// lowers to a direct slab call).
+func (m *Malloc) SlabFor(size int) *SlabAllocator {
+	ci := classFor(size)
+	if ci < 0 {
+		return nil
+	}
+	return m.slabs[ci]
+}

@@ -1,0 +1,142 @@
+package mem
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the comparison allocators for the Figure 3
+// reproduction. They are deliberately simplified but preserve the
+// synchronization structure that produces the paper's scalability curves:
+//
+//   - GlibcStyle: one central arena protected by a lock, like ptmalloc's
+//     main arena under per-core load - every operation contends.
+//   - JemallocStyle: per-thread caches over locked central bins, with the
+//     atomic statistics traffic jemalloc performs on its hot path. It
+//     scales linearly but each operation carries atomic-operation cost.
+//
+// The EbbRT allocator (Malloc/SlabAllocator) needs neither: non-preemptive
+// per-core execution makes its fast path a plain push/pop.
+
+// Allocator is the interface the Figure 3 harness drives: allocate and
+// free one fixed-size object on behalf of a core.
+type Allocator interface {
+	// AllocFree performs one allocate/free pair of an 8-byte object on
+	// the given core and returns nothing; errors are programming bugs.
+	AllocFree(core int)
+	// Name identifies the allocator in experiment output.
+	Name() string
+}
+
+// EbbRTAllocator adapts Malloc to the benchmark interface.
+type EbbRTAllocator struct{ M *Malloc }
+
+// Name implements Allocator.
+func (e *EbbRTAllocator) Name() string { return "EbbRT" }
+
+// AllocFree implements Allocator.
+func (e *EbbRTAllocator) AllocFree(core int) {
+	a, ok := e.M.Alloc(core, 8)
+	if !ok {
+		panic("mem: EbbRT allocator exhausted")
+	}
+	e.M.Free(core, a, 8)
+}
+
+// GlibcStyle models a single-arena allocator: one mutex serializes every
+// operation, plus constant per-op bookkeeping (boundary tags, bin checks).
+type GlibcStyle struct {
+	mu   sync.Mutex
+	free []Addr
+	next Addr
+	work [24]uint64 // touched per-op to model header/bin bookkeeping
+}
+
+// NewGlibcStyle returns the arena-with-lock rival.
+func NewGlibcStyle() *GlibcStyle { return &GlibcStyle{} }
+
+// Name implements Allocator.
+func (g *GlibcStyle) Name() string { return "glibc" }
+
+// AllocFree implements Allocator.
+func (g *GlibcStyle) AllocFree(core int) {
+	g.mu.Lock()
+	var a Addr
+	if n := len(g.free); n > 0 {
+		a = g.free[n-1]
+		g.free = g.free[:n-1]
+	} else {
+		a = g.next
+		g.next += 16
+	}
+	// Boundary-tag style bookkeeping under the lock.
+	for i := range g.work {
+		g.work[i] += uint64(a)
+	}
+	g.free = append(g.free, a)
+	g.mu.Unlock()
+}
+
+// JemallocStyle models a thread-caching allocator: per-core caches refill
+// from central bins under a lock, and the hot path performs the atomic
+// statistics updates jemalloc is known for.
+type JemallocStyle struct {
+	central struct {
+		mu   sync.Mutex
+		free []Addr
+		next Addr
+	}
+	caches []jemCache
+}
+
+type jemCache struct {
+	free []Addr
+	// Per-thread statistics updated with atomics on every operation -
+	// uncontended (own cache line) but not free, which is what keeps
+	// jemalloc linear yet measurably slower than an allocator that needs
+	// no atomics at all.
+	allocStats atomic.Uint64
+	binStats   atomic.Uint64
+	_          [48]byte
+}
+
+// NewJemallocStyle returns the thread-cache rival for the given core count.
+func NewJemallocStyle(cores int) *JemallocStyle {
+	return &JemallocStyle{caches: make([]jemCache, cores)}
+}
+
+// Name implements Allocator.
+func (j *JemallocStyle) Name() string { return "jemalloc" }
+
+// AllocFree implements Allocator.
+func (j *JemallocStyle) AllocFree(core int) {
+	c := &j.caches[core]
+	if len(c.free) == 0 {
+		j.central.mu.Lock()
+		for i := 0; i < batchSize; i++ {
+			if n := len(j.central.free); n > 0 {
+				c.free = append(c.free, j.central.free[n-1])
+				j.central.free = j.central.free[:n-1]
+			} else {
+				c.free = append(c.free, j.central.next)
+				j.central.next += 16
+			}
+		}
+		j.central.mu.Unlock()
+	}
+	a := c.free[len(c.free)-1]
+	c.free = c.free[:len(c.free)-1]
+	// Atomic stats on the hot path: alloc and dalloc events, bytes and
+	// bin counters, as jemalloc's tcache accounting performs.
+	c.allocStats.Add(uint64(a))
+	c.allocStats.Add(1)
+	c.binStats.Add(uint64(a) >> 4)
+	c.binStats.Add(1)
+	c.free = append(c.free, a)
+	if len(c.free) > maxCoreFree {
+		j.central.mu.Lock()
+		j.central.free = append(j.central.free, c.free[len(c.free)-batchSize:]...)
+		j.central.mu.Unlock()
+		c.free = c.free[:len(c.free)-batchSize]
+	}
+}

@@ -1,0 +1,158 @@
+package mem
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Virtual memory regions (paper §3.4): while most of the address space is
+// identity-mapped physical memory, applications can allocate virtual
+// regions and install their own page-fault handlers, enabling arbitrary
+// paging policies (the node.js port uses this for V8's reservations; the
+// paper suggests GC tricks via direct page-table access as future work).
+//
+// The simulated MMU is a per-region page table: Touch faults on unmapped
+// pages and invokes the owner's handler, which must map the page (usually
+// by taking one from the PageAllocator).
+
+// FaultHandler resolves a fault at the given page-aligned offset within
+// its region. It returns the physical page to map or an error to make the
+// access fail.
+type FaultHandler func(region *VirtualRegion, offset uint64) (Addr, error)
+
+// VirtualRegion is a reserved span of virtual address space with an
+// application-owned paging policy.
+type VirtualRegion struct {
+	vm      *VirtualMemory
+	Base    uint64
+	Size    uint64
+	handler FaultHandler
+
+	mu     sync.Mutex
+	pages  map[uint64]Addr // page-aligned offset -> physical page
+	Faults uint64
+}
+
+// VirtualMemory hands out non-overlapping regions, standing in for the
+// vast non-identity-mapped portion of the address space.
+type VirtualMemory struct {
+	mu      sync.Mutex
+	next    uint64
+	regions []*VirtualRegion
+}
+
+// NewVirtualMemory creates an empty virtual address space manager. The
+// virtual span begins high, above any identity-mapped physical address.
+func NewVirtualMemory() *VirtualMemory {
+	return &VirtualMemory{next: 1 << 40}
+}
+
+// Allocate reserves size bytes (rounded up to pages) with the given fault
+// handler. A nil handler makes any access to an unmapped page an error.
+func (vm *VirtualMemory) Allocate(size uint64, handler FaultHandler) *VirtualRegion {
+	if size == 0 {
+		panic("mem: zero-size virtual region")
+	}
+	size = (size + PageSize - 1) / PageSize * PageSize
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	r := &VirtualRegion{
+		vm:      vm,
+		Base:    vm.next,
+		Size:    size,
+		handler: handler,
+		pages:   map[uint64]Addr{},
+	}
+	vm.next += size + PageSize // guard page between regions
+	vm.regions = append(vm.regions, r)
+	return r
+}
+
+// RegionFor resolves a virtual address to its region.
+func (vm *VirtualMemory) RegionFor(va uint64) (*VirtualRegion, bool) {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	for _, r := range vm.regions {
+		if va >= r.Base && va < r.Base+r.Size {
+			return r, true
+		}
+	}
+	return nil, false
+}
+
+// Touch accesses the page containing offset, faulting it in through the
+// owner's handler if unmapped. It returns the backing physical address of
+// the exact byte.
+func (r *VirtualRegion) Touch(offset uint64) (Addr, error) {
+	if offset >= r.Size {
+		return 0, fmt.Errorf("mem: access at %#x beyond region size %#x", offset, r.Size)
+	}
+	pageOff := offset / PageSize * PageSize
+	r.mu.Lock()
+	phys, ok := r.pages[pageOff]
+	r.mu.Unlock()
+	if !ok {
+		if r.handler == nil {
+			return 0, fmt.Errorf("mem: fault at %#x in region with no handler", offset)
+		}
+		r.mu.Lock()
+		r.Faults++
+		r.mu.Unlock()
+		mapped, err := r.handler(r, pageOff)
+		if err != nil {
+			return 0, err
+		}
+		r.mu.Lock()
+		// A concurrent fault may have won; keep the first mapping.
+		if existing, raced := r.pages[pageOff]; raced {
+			mapped = existing
+		} else {
+			r.pages[pageOff] = mapped
+		}
+		phys = mapped
+		r.mu.Unlock()
+	}
+	return phys + Addr(offset-pageOff), nil
+}
+
+// Map installs a mapping explicitly (eager population, as EbbRT does for
+// the regions V8 reserves - the reason Figure 7's EbbRT runs fault-free).
+func (r *VirtualRegion) Map(offset uint64, phys Addr) error {
+	if offset%PageSize != 0 {
+		return fmt.Errorf("mem: unaligned map at %#x", offset)
+	}
+	if offset >= r.Size {
+		return fmt.Errorf("mem: map at %#x beyond region size %#x", offset, r.Size)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.pages[offset] = phys
+	return nil
+}
+
+// Unmap removes a page mapping (e.g. a madvise-style release); the next
+// access faults again.
+func (r *VirtualRegion) Unmap(offset uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.pages, offset/PageSize*PageSize)
+}
+
+// Mapped reports how many pages are currently populated.
+func (r *VirtualRegion) Mapped() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.pages)
+}
+
+// PopulateFromAllocator is the common fault handler: back every fault with
+// a fresh page from the allocator on the given node.
+func PopulateFromAllocator(pa *PageAllocator, node int) FaultHandler {
+	return func(r *VirtualRegion, offset uint64) (Addr, error) {
+		a, ok := pa.Alloc(0, node)
+		if !ok {
+			return 0, fmt.Errorf("mem: out of physical pages backing virtual region")
+		}
+		return a, nil
+	}
+}

@@ -1,0 +1,131 @@
+package mem
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestVirtualRegionDemandPaging(t *testing.T) {
+	pa := newTestPages()
+	vm := NewVirtualMemory()
+	r := vm.Allocate(10*PageSize, PopulateFromAllocator(pa, 0))
+	if r.Mapped() != 0 {
+		t.Fatal("pages mapped eagerly")
+	}
+	p1, err := r.Touch(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Faults != 1 || r.Mapped() != 1 {
+		t.Fatalf("faults=%d mapped=%d", r.Faults, r.Mapped())
+	}
+	// Same page: no new fault, offset arithmetic consistent.
+	p2, err := r.Touch(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Faults != 1 {
+		t.Fatal("second access faulted")
+	}
+	if p2 != p1+1 {
+		t.Fatalf("offsets inconsistent: %#x vs %#x", p1, p2)
+	}
+	// Different page: new fault.
+	if _, err := r.Touch(PageSize + 1); err != nil {
+		t.Fatal(err)
+	}
+	if r.Faults != 2 || r.Mapped() != 2 {
+		t.Fatalf("faults=%d mapped=%d", r.Faults, r.Mapped())
+	}
+}
+
+func TestVirtualRegionCustomPolicy(t *testing.T) {
+	vm := NewVirtualMemory()
+	// A policy that refuses faults beyond the first two pages - an
+	// application-enforced quota.
+	pa := newTestPages()
+	quota := 2
+	r := vm.Allocate(16*PageSize, func(r *VirtualRegion, off uint64) (Addr, error) {
+		if r.Mapped() >= quota {
+			return 0, errors.New("quota exceeded")
+		}
+		a, _ := pa.Alloc(0, 0)
+		return a, nil
+	})
+	if _, err := r.Touch(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Touch(PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Touch(2 * PageSize); err == nil {
+		t.Fatal("quota policy not enforced")
+	}
+}
+
+func TestVirtualRegionEagerMapNoFaults(t *testing.T) {
+	pa := newTestPages()
+	vm := NewVirtualMemory()
+	r := vm.Allocate(4*PageSize, PopulateFromAllocator(pa, 0))
+	// Pre-map every page, as EbbRT does for V8's reservations.
+	for off := uint64(0); off < r.Size; off += PageSize {
+		a, _ := pa.Alloc(0, 0)
+		if err := r.Map(off, a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for off := uint64(0); off < r.Size; off += 512 {
+		if _, err := r.Touch(off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Faults != 0 {
+		t.Fatalf("eagerly mapped region faulted %d times", r.Faults)
+	}
+}
+
+func TestVirtualRegionUnmapRefaults(t *testing.T) {
+	pa := newTestPages()
+	vm := NewVirtualMemory()
+	r := vm.Allocate(PageSize, PopulateFromAllocator(pa, 0))
+	if _, err := r.Touch(0); err != nil {
+		t.Fatal(err)
+	}
+	r.Unmap(0)
+	if _, err := r.Touch(0); err != nil {
+		t.Fatal(err)
+	}
+	if r.Faults != 2 {
+		t.Fatalf("faults = %d, want refault after unmap", r.Faults)
+	}
+}
+
+func TestVirtualRegionBounds(t *testing.T) {
+	vm := NewVirtualMemory()
+	r := vm.Allocate(PageSize, nil)
+	if _, err := r.Touch(PageSize); err == nil {
+		t.Fatal("out-of-bounds access allowed")
+	}
+	if _, err := r.Touch(0); err == nil {
+		t.Fatal("nil-handler fault should error")
+	}
+	if err := r.Map(123, 0); err == nil {
+		t.Fatal("unaligned map allowed")
+	}
+}
+
+func TestRegionForResolvesAndGuards(t *testing.T) {
+	vm := NewVirtualMemory()
+	a := vm.Allocate(2*PageSize, nil)
+	b := vm.Allocate(PageSize, nil)
+	if got, ok := vm.RegionFor(a.Base + PageSize); !ok || got != a {
+		t.Fatal("RegionFor missed region a")
+	}
+	if got, ok := vm.RegionFor(b.Base); !ok || got != b {
+		t.Fatal("RegionFor missed region b")
+	}
+	// The guard page between regions belongs to neither.
+	if _, ok := vm.RegionFor(a.Base + a.Size); ok {
+		t.Fatal("guard page resolved to a region")
+	}
+}

@@ -1,0 +1,67 @@
+package netstack
+
+import (
+	"testing"
+
+	"ebbrt/internal/event"
+	"ebbrt/internal/future"
+	"ebbrt/internal/sim"
+)
+
+func TestPingRoundTrip(t *testing.T) {
+	n := newTestNet(t, 1, 1)
+	var rtt sim.Time
+	got := false
+	n.spawnA(func(c *event.Ctx) {
+		n.itfA.Ping(c, IP(10, 0, 0, 2), 1).OnDone(func(r future.Result[sim.Time]) {
+			v, err := r.Get()
+			if err != nil {
+				t.Errorf("ping: %v", err)
+				return
+			}
+			rtt = v
+			got = true
+		})
+	})
+	n.k.RunUntil(100 * sim.Millisecond)
+	if !got {
+		t.Fatal("no echo reply")
+	}
+	if rtt <= 0 || rtt > 100*sim.Microsecond {
+		t.Fatalf("implausible rtt %v", rtt)
+	}
+}
+
+func TestPingSequencesIndependent(t *testing.T) {
+	n := newTestNet(t, 1, 1)
+	replies := 0
+	n.spawnA(func(c *event.Ctx) {
+		for seq := uint16(1); seq <= 5; seq++ {
+			n.itfA.Ping(c, IP(10, 0, 0, 2), seq).OnDone(func(r future.Result[sim.Time]) {
+				if _, err := r.Get(); err == nil {
+					replies++
+				}
+			})
+		}
+	})
+	n.k.RunUntil(100 * sim.Millisecond)
+	if replies != 5 {
+		t.Fatalf("got %d of 5 replies", replies)
+	}
+}
+
+func TestPingUnreachableTimesOut(t *testing.T) {
+	n := newTestNet(t, 1, 1)
+	var err error
+	done := false
+	n.spawnA(func(c *event.Ctx) {
+		n.itfA.Ping(c, IP(10, 0, 0, 77), 1).OnDone(func(r future.Result[sim.Time]) {
+			_, err = r.Get()
+			done = true
+		})
+	})
+	n.k.RunUntil(5 * sim.Second)
+	if !done || err == nil {
+		t.Fatalf("unreachable ping: done=%v err=%v", done, err)
+	}
+}

@@ -1,0 +1,196 @@
+package netstack
+
+import (
+	"fmt"
+
+	"ebbrt/internal/event"
+	"ebbrt/internal/future"
+	"ebbrt/internal/iobuf"
+	"ebbrt/internal/machine"
+	"ebbrt/internal/sim"
+)
+
+// Interface is one attached NIC with its address configuration and
+// protocol state.
+type Interface struct {
+	St   *Stack
+	NIC  *machine.NIC
+	Addr Ipv4Addr
+	Mask Ipv4Addr
+
+	arp     *arpCache
+	udp     *udpLayer
+	tcp     *tcpLayer
+	pings   map[uint32]*pingState
+	drivers []*queueDriver
+
+	// RxPackets counts frames delivered to the stack (all queues).
+	RxPackets uint64
+	// PollModeSwitches counts interrupt->polling transitions, to observe
+	// the adaptive driver.
+	PollModeSwitches uint64
+}
+
+// queueDriver is the per-receive-queue driver: interrupt-driven by
+// default, switching to polling under load (paper §3.2's example).
+type queueDriver struct {
+	itf        *Interface
+	q          *machine.RxQueue
+	mgr        *event.Manager
+	idle       *event.IdleHandler
+	emptyPolls int
+}
+
+// onIRQ processes every frame available, then decides whether to switch to
+// polling.
+func (d *queueDriver) onIRQ(c *event.Ctx) {
+	n := d.drain(c)
+	cfg := &d.itf.St.Cfg
+	if cfg.AdaptivePolling && n >= cfg.PollBatchThreshold && d.idle == nil {
+		// High interrupt rate: mask the queue and poll from the idle loop.
+		d.q.DisableIRQ()
+		d.emptyPolls = 0
+		d.idle = d.mgr.AddIdleHandler(d.poll)
+		d.itf.PollModeSwitches++
+	}
+}
+
+// poll is the idle-handler body while in polling mode.
+func (d *queueDriver) poll(c *event.Ctx) {
+	n := d.drain(c)
+	if n == 0 {
+		d.emptyPolls++
+		if d.emptyPolls >= d.itf.St.Cfg.PollIdleRounds {
+			// Arrival rate dropped: return to interrupt-driven execution.
+			d.mgr.RemoveIdleHandler(d.idle)
+			d.idle = nil
+			d.q.EnableIRQ()
+		}
+		return
+	}
+	d.emptyPolls = 0
+}
+
+// drain processes all currently queued frames to completion, then flushes
+// the ACKs coalesced across the batch.
+func (d *queueDriver) drain(c *event.Ctx) int {
+	n := 0
+	for {
+		f, ok := d.q.Pop()
+		if !ok {
+			break
+		}
+		n++
+		d.itf.RxPackets++
+		d.itf.receive(c, f.Buf)
+	}
+	if n > 0 {
+		d.itf.tcp.flushAcks(c)
+	}
+	return n
+}
+
+// receive demultiplexes one frame, synchronously, on the queue's core.
+func (itf *Interface) receive(c *event.Ctx, buf *iobuf.IOBuf) {
+	c.Charge(itf.St.Cfg.PerPacketCPU)
+	if f := itf.St.Cfg.ForceCopyPerByte; f > 0 {
+		c.Charge(sim.Time(f * float64(buf.ComputeChainDataLength())))
+	}
+	data := buf.Data()
+	eth, err := parseEth(data)
+	if err != nil {
+		return // malformed: drop
+	}
+	if eth.Dst != itf.NIC.Mac && !eth.Dst.IsBroadcast() {
+		return // not for us
+	}
+	payloadView(buf, EthHeaderLen)
+	switch eth.Type {
+	case EtherTypeARP:
+		itf.receiveArp(c, buf)
+	case EtherTypeIPv4:
+		itf.receiveIpv4(c, buf)
+	}
+}
+
+func (itf *Interface) receiveIpv4(c *event.Ctx, buf *iobuf.IOBuf) {
+	hdr, err := parseIpv4(buf.Data())
+	if err != nil {
+		return
+	}
+	if hdr.Dst != itf.Addr && !hdr.Dst.IsBroadcast() {
+		return
+	}
+	// Trim link-layer padding: the IP total length is authoritative.
+	if total := int(hdr.TotalLen); total < buf.ComputeChainDataLength() {
+		excess := buf.ComputeChainDataLength() - total
+		trimChainEnd(buf, excess)
+	}
+	payloadView(buf, Ipv4HeaderLen)
+	switch hdr.Proto {
+	case ProtoUDP:
+		itf.udp.receive(c, hdr, buf)
+	case ProtoTCP:
+		itf.tcp.receive(c, hdr, buf)
+	case ProtoICMP:
+		itf.receiveIcmp(c, hdr, buf)
+	}
+}
+
+// trimChainEnd removes n bytes from the tail of a chain.
+func trimChainEnd(buf *iobuf.IOBuf, n int) {
+	for n > 0 {
+		tail := buf.Prev()
+		if tail.Length() >= n {
+			tail.TrimEnd(n)
+			return
+		}
+		n -= tail.Length()
+		tail.TrimEnd(tail.Length())
+	}
+}
+
+// Route implements the paper's simple routing: on-subnet addresses are
+// delivered directly; the stack targets isolated cloud networks and has no
+// gateway. Broadcasts route to the Ethernet broadcast address.
+func (itf *Interface) Route(dst Ipv4Addr) (Ipv4Addr, error) {
+	if dst.IsBroadcast() || SameSubnet(dst, itf.Addr, itf.Mask) {
+		return dst, nil
+	}
+	return Ipv4Addr{}, fmt.Errorf("netstack: no route to %v (off subnet, no gateway)", dst)
+}
+
+// EthArpSend routes an IP packet, resolves the next-hop MAC (possibly
+// asynchronously via ARP), prepends the Ethernet header, and transmits.
+// This is the code path of the paper's Figure 2, expressed with the same
+// monadic-future structure.
+func (itf *Interface) EthArpSend(c *event.Ctx, proto uint16, dst Ipv4Addr, buf *iobuf.IOBuf, flowHash uint32) future.Future[future.Unit] {
+	localDst, err := itf.Route(dst)
+	if err != nil {
+		return future.Fail[future.Unit](err)
+	}
+	var fmac future.Future[EthAddr]
+	if localDst.IsBroadcast() {
+		fmac = future.Ready(machine.Broadcast)
+	} else {
+		fmac = itf.arpFind(c, localDst)
+	}
+	return future.ThenOK(fmac, func(mac EthAddr) (future.Unit, error) {
+		hdrBuf := iobuf.New(EthHeaderLen)
+		writeEth(hdrBuf.Append(EthHeaderLen), EthHeader{Dst: mac, Src: itf.NIC.Mac, Type: proto})
+		hdrBuf.AppendChain(buf)
+		itf.transmit(c, hdrBuf, flowHash)
+		return future.Unit{}, nil
+	})
+}
+
+// transmit charges the device-path CPU cost and hands the frame chain to
+// the NIC. The frame leaves after the event's accumulated charge, keeping
+// virtual-time causality.
+func (itf *Interface) transmit(c *event.Ctx, frame *iobuf.IOBuf, flowHash uint32) {
+	c.Charge(itf.NIC.TxCPUCost())
+	if f := itf.St.Cfg.ForceCopyPerByte; f > 0 {
+		c.Charge(sim.Time(f * float64(frame.ComputeChainDataLength())))
+	}
+	itf.NIC.Transmit(machine.Frame{Buf: frame, Hash: flowHash}, c.Charged())
+}

@@ -1,0 +1,525 @@
+package netstack
+
+import (
+	"bytes"
+	"testing"
+
+	"ebbrt/internal/event"
+	"ebbrt/internal/future"
+	"ebbrt/internal/iobuf"
+	"ebbrt/internal/machine"
+	"ebbrt/internal/sim"
+)
+
+// Shorthands for future results used by callbacks in this file.
+type futureResult = future.Result[EthAddr]
+type dhcpResult = future.Result[DhcpLease]
+
+// testNet wires two single- or multi-core machines with stacks over a link.
+type testNet struct {
+	k          *sim.Kernel
+	a, b       *Stack
+	itfA, itfB *Interface
+	link       *machine.Link
+}
+
+func newTestNet(t *testing.T, coresA, coresB int) *testNet {
+	t.Helper()
+	k := sim.NewKernel()
+	ma := machine.New(k, machine.DefaultConfig("a", coresA))
+	mb := machine.New(k, machine.DefaultConfig("b", coresB))
+	na := machine.NewNIC(ma, machine.MAC{0, 0, 0, 0, 0, 1})
+	nb := machine.NewNIC(mb, machine.MAC{0, 0, 0, 0, 0, 2})
+	link := machine.NewLink(k, na, nb)
+	var mgrsA, mgrsB []*event.Manager
+	for _, c := range ma.Cores {
+		mgrsA = append(mgrsA, event.NewManager(c, event.DefaultCosts()))
+	}
+	for _, c := range mb.Cores {
+		mgrsB = append(mgrsB, event.NewManager(c, event.DefaultCosts()))
+	}
+	sa := NewStack(ma, mgrsA, DefaultConfig())
+	sb := NewStack(mb, mgrsB, DefaultConfig())
+	itfA := sa.AddInterface(na, IP(10, 0, 0, 1), IP(255, 255, 255, 0))
+	itfB := sb.AddInterface(nb, IP(10, 0, 0, 2), IP(255, 255, 255, 0))
+	return &testNet{k: k, a: sa, b: sb, itfA: itfA, itfB: itfB, link: link}
+}
+
+func (n *testNet) spawnA(fn event.Handler) { n.a.Mgrs[0].Spawn(fn) }
+func (n *testNet) spawnB(fn event.Handler) { n.b.Mgrs[0].Spawn(fn) }
+
+func TestArpResolution(t *testing.T) {
+	n := newTestNet(t, 1, 1)
+	var mac EthAddr
+	resolved := false
+	n.spawnA(func(c *event.Ctx) {
+		n.itfA.arpFind(c, IP(10, 0, 0, 2)).OnDone(func(r futureResult) {
+			m, err := r.Get()
+			if err != nil {
+				t.Errorf("arp: %v", err)
+				return
+			}
+			mac = m
+			resolved = true
+		})
+	})
+	n.k.RunUntil(10 * sim.Millisecond)
+	if !resolved {
+		t.Fatal("arp did not resolve")
+	}
+	if mac != (EthAddr{0, 0, 0, 0, 0, 2}) {
+		t.Fatalf("resolved %v", mac)
+	}
+	// Second resolution must be synchronous (cached).
+	sync := false
+	n.spawnA(func(c *event.Ctx) {
+		f := n.itfA.arpFind(c, IP(10, 0, 0, 2))
+		if _, ok := f.Poll(); ok {
+			sync = true
+		}
+	})
+	n.k.RunUntil(20 * sim.Millisecond)
+	if !sync {
+		t.Fatal("cached arp lookup was not synchronous")
+	}
+}
+
+func TestArpTimeout(t *testing.T) {
+	n := newTestNet(t, 1, 1)
+	var gotErr error
+	n.spawnA(func(c *event.Ctx) {
+		n.itfA.arpFind(c, IP(10, 0, 0, 99)).OnDone(func(r futureResult) {
+			_, gotErr = r.Get()
+		})
+	})
+	n.k.RunUntil(2 * sim.Second)
+	if gotErr == nil {
+		t.Fatal("arp to absent host did not time out")
+	}
+}
+
+func TestUdpEcho(t *testing.T) {
+	n := newTestNet(t, 1, 1)
+	const port = 7777
+	var echoed []byte
+	n.spawnB(func(c *event.Ctx) {
+		_, err := n.itfB.BindUdp(port, func(c *event.Ctx, src Ipv4Addr, srcPort uint16, payload *iobuf.IOBuf) {
+			// Echo back.
+			_ = n.itfB.SendUdp(c, port, src, srcPort, iobuf.FromBytes(payload.CopyOut()))
+		})
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	n.spawnA(func(c *event.Ctx) {
+		lp, err := n.itfA.BindUdp(0, func(c *event.Ctx, src Ipv4Addr, srcPort uint16, payload *iobuf.IOBuf) {
+			echoed = payload.CopyOut()
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		_ = n.itfA.SendUdp(c, lp, IP(10, 0, 0, 2), port, iobuf.FromBytes([]byte("ping pong")))
+	})
+	n.k.RunUntil(10 * sim.Millisecond)
+	if string(echoed) != "ping pong" {
+		t.Fatalf("echoed %q", echoed)
+	}
+}
+
+func TestUdpPortInUse(t *testing.T) {
+	n := newTestNet(t, 1, 1)
+	var err1, err2 error
+	n.spawnA(func(c *event.Ctx) {
+		_, err1 = n.itfA.BindUdp(53, func(*event.Ctx, Ipv4Addr, uint16, *iobuf.IOBuf) {})
+		_, err2 = n.itfA.BindUdp(53, func(*event.Ctx, Ipv4Addr, uint16, *iobuf.IOBuf) {})
+	})
+	n.k.Run()
+	if err1 != nil || err2 == nil {
+		t.Fatalf("err1=%v err2=%v", err1, err2)
+	}
+}
+
+// tcpEchoServer installs an echo listener on itf.
+func tcpEchoServer(t *testing.T, itf *Interface, port uint16) {
+	itf.St.Mgrs[0].Spawn(func(c *event.Ctx) {
+		_, err := itf.ListenTcp(port, func(c *event.Ctx, pcb *TcpPcb) ConnHandler {
+			return ConnHandler{
+				OnReceive: func(c *event.Ctx, pcb *TcpPcb, payload *iobuf.IOBuf) {
+					if err := pcb.Send(c, iobuf.FromBytes(payload.CopyOut())); err != nil {
+						t.Errorf("echo send: %v", err)
+					}
+				},
+			}
+		})
+		if err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+func TestTcpConnectSendReceive(t *testing.T) {
+	n := newTestNet(t, 1, 1)
+	tcpEchoServer(t, n.itfB, 80)
+	var got []byte
+	connected := false
+	n.spawnA(func(c *event.Ctx) {
+		_, err := n.itfA.ConnectTcp(c, IP(10, 0, 0, 2), 80, ConnHandler{
+			OnConnected: func(c *event.Ctx, pcb *TcpPcb) {
+				connected = true
+				if err := pcb.Send(c, iobuf.FromBytes([]byte("hello ebbrt"))); err != nil {
+					t.Errorf("send: %v", err)
+				}
+			},
+			OnReceive: func(c *event.Ctx, pcb *TcpPcb, payload *iobuf.IOBuf) {
+				got = append(got, payload.CopyOut()...)
+			},
+		})
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	n.k.RunUntil(50 * sim.Millisecond)
+	if !connected {
+		t.Fatal("handshake did not complete")
+	}
+	if string(got) != "hello ebbrt" {
+		t.Fatalf("echoed %q", got)
+	}
+}
+
+func TestTcpLargeTransferSegmented(t *testing.T) {
+	n := newTestNet(t, 1, 1)
+	const size = 50000 // > 34 segments, > initial window requires window mgmt
+	payload := make([]byte, size)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	var rx []byte
+	done := false
+	n.spawnB(func(c *event.Ctx) {
+		_, err := n.itfB.ListenTcp(80, func(c *event.Ctx, pcb *TcpPcb) ConnHandler {
+			return ConnHandler{
+				OnReceive: func(c *event.Ctx, pcb *TcpPcb, p *iobuf.IOBuf) {
+					rx = append(rx, p.CopyOut()...)
+					if len(rx) == size {
+						done = true
+					}
+				},
+			}
+		})
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	n.spawnA(func(c *event.Ctx) {
+		var sent int
+		var pump func(c *event.Ctx, pcb *TcpPcb)
+		pump = func(c *event.Ctx, pcb *TcpPcb) {
+			for sent < size {
+				chunk := size - sent
+				if w := pcb.SendWindowRemaining(); chunk > w {
+					chunk = w
+				}
+				if chunk == 0 {
+					return // OnAcked will resume
+				}
+				if err := pcb.Send(c, iobuf.FromBytes(payload[sent:sent+chunk])); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+				sent += chunk
+			}
+		}
+		_, err := n.itfA.ConnectTcp(c, IP(10, 0, 0, 2), 80, ConnHandler{
+			OnConnected: pump,
+			OnAcked:     func(c *event.Ctx, pcb *TcpPcb, nAck int) { pump(c, pcb) },
+		})
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	n.k.RunUntil(1 * sim.Second)
+	if !done {
+		t.Fatalf("received %d of %d bytes", len(rx), size)
+	}
+	if !bytes.Equal(rx, payload) {
+		t.Fatal("payload corrupted in transfer")
+	}
+}
+
+func TestTcpSendExceedingWindowFails(t *testing.T) {
+	n := newTestNet(t, 1, 1)
+	tcpEchoServer(t, n.itfB, 80)
+	var sendErr error
+	ran := false
+	n.spawnA(func(c *event.Ctx) {
+		_, _ = n.itfA.ConnectTcp(c, IP(10, 0, 0, 2), 80, ConnHandler{
+			OnConnected: func(c *event.Ctx, pcb *TcpPcb) {
+				ran = true
+				big := make([]byte, 200000) // far beyond a 64k window
+				sendErr = pcb.Send(c, iobuf.FromBytes(big))
+			},
+		})
+	})
+	n.k.RunUntil(50 * sim.Millisecond)
+	if !ran {
+		t.Fatal("never connected")
+	}
+	if sendErr == nil {
+		t.Fatal("oversized send should fail: the application owns buffering")
+	}
+}
+
+func TestTcpOrderlyClose(t *testing.T) {
+	n := newTestNet(t, 1, 1)
+	serverClosed := false
+	clientClosed := false
+	n.spawnB(func(c *event.Ctx) {
+		_, _ = n.itfB.ListenTcp(80, func(c *event.Ctx, pcb *TcpPcb) ConnHandler {
+			return ConnHandler{
+				OnReceive: func(c *event.Ctx, pcb *TcpPcb, p *iobuf.IOBuf) {
+					// Server closes its side in response (CloseWait path).
+					pcb.Close(c)
+				},
+				OnClosed: func(c *event.Ctx, pcb *TcpPcb, err error) {
+					if err != nil {
+						t.Errorf("server close err: %v", err)
+					}
+					serverClosed = true
+				},
+			}
+		})
+	})
+	n.spawnA(func(c *event.Ctx) {
+		_, _ = n.itfA.ConnectTcp(c, IP(10, 0, 0, 2), 80, ConnHandler{
+			OnConnected: func(c *event.Ctx, pcb *TcpPcb) {
+				_ = pcb.Send(c, iobuf.FromBytes([]byte("bye")))
+				pcb.Close(c)
+			},
+			OnClosed: func(c *event.Ctx, pcb *TcpPcb, err error) {
+				if err != nil {
+					t.Errorf("client close err: %v", err)
+				}
+				clientClosed = true
+			},
+		})
+	})
+	n.k.RunUntil(1 * sim.Second)
+	if !serverClosed || !clientClosed {
+		t.Fatalf("serverClosed=%v clientClosed=%v", serverClosed, clientClosed)
+	}
+}
+
+func TestTcpConnectRefusedRST(t *testing.T) {
+	n := newTestNet(t, 1, 1)
+	var closedErr error
+	gotClose := false
+	n.spawnA(func(c *event.Ctx) {
+		_, _ = n.itfA.ConnectTcp(c, IP(10, 0, 0, 2), 9999, ConnHandler{
+			OnConnected: func(c *event.Ctx, pcb *TcpPcb) {
+				t.Error("connected to a port with no listener")
+			},
+			OnClosed: func(c *event.Ctx, pcb *TcpPcb, err error) {
+				gotClose = true
+				closedErr = err
+			},
+		})
+	})
+	n.k.RunUntil(100 * sim.Millisecond)
+	if !gotClose || closedErr == nil {
+		t.Fatalf("expected reset: gotClose=%v err=%v", gotClose, closedErr)
+	}
+}
+
+func TestTcpRetransmissionOnLoss(t *testing.T) {
+	n := newTestNet(t, 1, 1)
+	// Drop the 8th frame on the wire (a data segment mid-transfer).
+	n.link.DropFn = func(idx uint64, f machine.Frame) bool { return idx == 8 }
+	const size = 20000
+	payload := make([]byte, size)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	var rx []byte
+	n.spawnB(func(c *event.Ctx) {
+		_, _ = n.itfB.ListenTcp(80, func(c *event.Ctx, pcb *TcpPcb) ConnHandler {
+			return ConnHandler{
+				OnReceive: func(c *event.Ctx, pcb *TcpPcb, p *iobuf.IOBuf) {
+					rx = append(rx, p.CopyOut()...)
+				},
+			}
+		})
+	})
+	var clientPcb *TcpPcb
+	n.spawnA(func(c *event.Ctx) {
+		var sent int
+		var pump func(c *event.Ctx, pcb *TcpPcb)
+		pump = func(c *event.Ctx, pcb *TcpPcb) {
+			for sent < size {
+				chunk := size - sent
+				if w := pcb.SendWindowRemaining(); chunk > w {
+					chunk = w
+				}
+				if chunk == 0 {
+					return
+				}
+				_ = pcb.Send(c, iobuf.FromBytes(payload[sent:sent+chunk]))
+				sent += chunk
+			}
+		}
+		clientPcb, _ = n.itfA.ConnectTcp(c, IP(10, 0, 0, 2), 80, ConnHandler{
+			OnConnected: pump,
+			OnAcked:     func(c *event.Ctx, pcb *TcpPcb, nAck int) { pump(c, pcb) },
+		})
+	})
+	n.k.RunUntil(5 * sim.Second)
+	if !bytes.Equal(rx, payload) {
+		t.Fatalf("transfer with loss corrupted: got %d bytes want %d", len(rx), size)
+	}
+	if clientPcb.Retransmits == 0 {
+		t.Fatal("no retransmission recorded despite drop")
+	}
+}
+
+func TestDhcpAcquire(t *testing.T) {
+	n := newTestNet(t, 1, 1)
+	// Reconfigure A to be unnumbered; B serves DHCP.
+	n.itfA.Addr = Ipv4Addr{}
+	var lease DhcpLease
+	gotLease := false
+	n.spawnB(func(c *event.Ctx) {
+		if _, err := n.itfB.ServeDhcp(IP(10, 0, 0, 100), IP(255, 255, 255, 0)); err != nil {
+			t.Error(err)
+		}
+	})
+	n.spawnA(func(c *event.Ctx) {
+		n.itfA.DhcpClient(c).OnDone(func(r dhcpResult) {
+			l, err := r.Get()
+			if err != nil {
+				t.Errorf("dhcp: %v", err)
+				return
+			}
+			lease = l
+			gotLease = true
+		})
+	})
+	n.k.RunUntil(1 * sim.Second)
+	if !gotLease {
+		t.Fatal("no lease acquired")
+	}
+	if lease.Addr != IP(10, 0, 0, 101) {
+		t.Fatalf("lease addr %v", lease.Addr)
+	}
+	if n.itfA.Addr != lease.Addr {
+		t.Fatal("interface address not installed")
+	}
+}
+
+// rawUdpFrame builds a complete Ethernet+IPv4+UDP frame for injection.
+func rawUdpFrame(srcMac, dstMac EthAddr, src, dst Ipv4Addr, srcPort, dstPort uint16, payload []byte) *iobuf.IOBuf {
+	total := EthHeaderLen + Ipv4HeaderLen + UdpHeaderLen + len(payload)
+	buf := iobuf.New(total)
+	writeEth(buf.Append(EthHeaderLen), EthHeader{Dst: dstMac, Src: srcMac, Type: EtherTypeIPv4})
+	writeIpv4(buf.Append(Ipv4HeaderLen), Ipv4Header{
+		TotalLen: uint16(Ipv4HeaderLen + UdpHeaderLen + len(payload)),
+		TTL:      64, Proto: ProtoUDP, Src: src, Dst: dst,
+	})
+	writeUdp(buf.Append(UdpHeaderLen), UdpHeader{SrcPort: srcPort, DstPort: dstPort, Length: uint16(UdpHeaderLen + len(payload))})
+	copy(buf.Append(len(payload)), payload)
+	return buf
+}
+
+func TestAdaptivePollingEngages(t *testing.T) {
+	n := newTestNet(t, 1, 1)
+	received := 0
+	n.spawnB(func(c *event.Ctx) {
+		_, _ = n.itfB.BindUdp(9, func(*event.Ctx, Ipv4Addr, uint16, *iobuf.IOBuf) { received++ })
+	})
+	// Inject frames directly into B's NIC faster than the per-packet
+	// service time, so the drain batch exceeds the polling threshold.
+	port := machine.PortOf(n.itfB.NIC)
+	const frames = 200
+	for i := 0; i < frames; i++ {
+		f := machine.Frame{
+			Buf: rawUdpFrame(EthAddr{0, 0, 0, 0, 0, 1}, EthAddr{0, 0, 0, 0, 0, 2},
+				IP(10, 0, 0, 1), IP(10, 0, 0, 2), 5000, 9, make([]byte, 32)),
+		}
+		n.k.At(sim.Time(1000+i*100), func() { port.Send(f) })
+	}
+	n.k.RunUntil(100 * sim.Millisecond)
+	if received != frames {
+		t.Fatalf("received %d of %d", received, frames)
+	}
+	if n.itfB.PollModeSwitches == 0 {
+		t.Fatal("driver never engaged polling under burst load")
+	}
+	// After the burst the driver must return to interrupts (no idle
+	// handlers left installed).
+	if n.b.Mgrs[0].IdleHandlerCount() != 0 {
+		t.Fatal("driver stuck in polling mode")
+	}
+}
+
+func TestPollingDisabledAblation(t *testing.T) {
+	k := sim.NewKernel()
+	ma := machine.New(k, machine.DefaultConfig("a", 1))
+	mb := machine.New(k, machine.DefaultConfig("b", 1))
+	na := machine.NewNIC(ma, machine.MAC{0, 0, 0, 0, 0, 1})
+	nb := machine.NewNIC(mb, machine.MAC{0, 0, 0, 0, 0, 2})
+	machine.NewLink(k, na, nb)
+	mgrA := event.NewManager(ma.Cores[0], event.DefaultCosts())
+	mgrB := event.NewManager(mb.Cores[0], event.DefaultCosts())
+	cfg := DefaultConfig()
+	cfg.AdaptivePolling = false
+	sa := NewStack(ma, []*event.Manager{mgrA}, cfg)
+	sb := NewStack(mb, []*event.Manager{mgrB}, cfg)
+	itfA := sa.AddInterface(na, IP(10, 0, 0, 1), IP(255, 255, 255, 0))
+	itfB := sb.AddInterface(nb, IP(10, 0, 0, 2), IP(255, 255, 255, 0))
+	got := 0
+	sb.Mgrs[0].Spawn(func(c *event.Ctx) {
+		_, _ = itfB.BindUdp(9, func(*event.Ctx, Ipv4Addr, uint16, *iobuf.IOBuf) { got++ })
+	})
+	sa.Mgrs[0].Spawn(func(c *event.Ctx) {
+		for i := 0; i < 100; i++ {
+			_ = itfA.SendUdp(c, 5000, IP(10, 0, 0, 2), 9, iobuf.FromBytes(make([]byte, 32)))
+		}
+	})
+	k.RunUntil(100 * sim.Millisecond)
+	if got != 100 {
+		t.Fatalf("received %d of 100", got)
+	}
+	if itfB.PollModeSwitches != 0 {
+		t.Fatal("polling engaged despite ablation")
+	}
+}
+
+func TestChecksum(t *testing.T) {
+	// RFC 1071 example.
+	data := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := Checksum(data, 0); got != ^uint16(0xddf2) {
+		t.Fatalf("checksum = %#x", got)
+	}
+}
+
+func TestFlowHashSymmetric(t *testing.T) {
+	h1 := FlowHash(IP(10, 0, 0, 1), 1234, IP(10, 0, 0, 2), 80)
+	h2 := FlowHash(IP(10, 0, 0, 2), 80, IP(10, 0, 0, 1), 1234)
+	if h1 != h2 {
+		t.Fatal("flow hash not symmetric")
+	}
+	h3 := FlowHash(IP(10, 0, 0, 1), 1235, IP(10, 0, 0, 2), 80)
+	if h1 == h3 {
+		t.Fatal("distinct flows collide trivially")
+	}
+}
+
+func TestSameSubnet(t *testing.T) {
+	mask := IP(255, 255, 255, 0)
+	if !SameSubnet(IP(10, 0, 0, 1), IP(10, 0, 0, 200), mask) {
+		t.Fatal("same subnet not detected")
+	}
+	if SameSubnet(IP(10, 0, 0, 1), IP(10, 0, 1, 1), mask) {
+		t.Fatal("different subnet not detected")
+	}
+}

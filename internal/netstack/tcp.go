@@ -1,0 +1,678 @@
+package netstack
+
+import (
+	"fmt"
+
+	"ebbrt/internal/event"
+	"ebbrt/internal/iobuf"
+	"ebbrt/internal/rcu"
+	"ebbrt/internal/sim"
+)
+
+// tcpState is the TCP connection state machine.
+type tcpState int
+
+const (
+	tcpClosed tcpState = iota
+	tcpListen
+	tcpSynSent
+	tcpSynReceived
+	tcpEstablished
+	tcpFinWait1
+	tcpFinWait2
+	tcpCloseWait
+	tcpLastAck
+	tcpClosing
+	tcpTimeWait
+)
+
+func (s tcpState) String() string {
+	return [...]string{"Closed", "Listen", "SynSent", "SynReceived", "Established",
+		"FinWait1", "FinWait2", "CloseWait", "LastAck", "Closing", "TimeWait"}[s]
+}
+
+// seqLT is a wraparound-safe sequence comparison.
+func seqLT(a, b uint32) bool { return int32(a-b) < 0 }
+
+// seqLEQ is a wraparound-safe sequence comparison.
+func seqLEQ(a, b uint32) bool { return int32(a-b) <= 0 }
+
+// tcpKey identifies a connection on an interface (the local address is the
+// interface's).
+type tcpKey struct {
+	rip   Ipv4Addr
+	rport uint16
+	lport uint16
+}
+
+func tcpKeyHash(k tcpKey) uint64 {
+	return rcu.Uint64Hash(uint64(k.rip.Uint32())<<32 | uint64(k.rport)<<16 | uint64(k.lport))
+}
+
+// ConnHandler carries the application callbacks for one TCP connection.
+// All callbacks run synchronously on the connection's core.
+type ConnHandler struct {
+	// OnConnected fires when the handshake completes.
+	OnConnected func(c *event.Ctx, pcb *TcpPcb)
+	// OnReceive delivers in-order payload directly from the driver, as an
+	// IOBuf view with no stack-side buffering or copying.
+	OnReceive func(c *event.Ctx, pcb *TcpPcb, payload *iobuf.IOBuf)
+	// OnAcked reports n bytes newly acknowledged by the peer - the signal
+	// applications use to manage their own send buffering.
+	OnAcked func(c *event.Ctx, pcb *TcpPcb, n int)
+	// OnRemoteClosed fires when the peer half-closes (FIN received while
+	// established); the local side may still send until it calls Close.
+	OnRemoteClosed func(c *event.Ctx, pcb *TcpPcb)
+	// OnClosed fires when the connection reaches Closed; err is non-nil
+	// for resets and failures.
+	OnClosed func(c *event.Ctx, pcb *TcpPcb, err error)
+	// OnWindowOpen fires when a zero remote window reopens.
+	OnWindowOpen func(c *event.Ctx, pcb *TcpPcb)
+}
+
+// TcpListener accepts inbound connections on a port.
+type TcpListener struct {
+	itf    *Interface
+	port   uint16
+	accept func(c *event.Ctx, pcb *TcpPcb) ConnHandler
+}
+
+// Close stops accepting new connections.
+func (l *TcpListener) Close() { delete(l.itf.tcp.listeners, l.port) }
+
+// tcpLayer is an interface's TCP state: listeners plus the RCU connection
+// table the paper describes for lock-free lookup.
+type tcpLayer struct {
+	itf       *Interface
+	listeners map[uint16]*TcpListener
+	conns     *rcu.Table[tcpKey, *TcpPcb]
+	nextPort  uint16
+	isn       uint32
+	ackQueue  []*TcpPcb // connections owing an ACK after the current drain batch
+}
+
+func newTcpLayer() *tcpLayer {
+	return &tcpLayer{
+		listeners: map[uint16]*TcpListener{},
+		conns:     rcu.NewTable[tcpKey, *TcpPcb](tcpKeyHash, 64),
+		nextPort:  49152,
+		isn:       10000,
+	}
+}
+
+// segment is an unacknowledged transmit segment retained for retransmission.
+type segment struct {
+	seq    uint32
+	flags  byte
+	frame  *iobuf.IOBuf // fully built TCP packet (ip+tcp headers + payload)
+	seqLen uint32       // sequence space consumed (payload + SYN/FIN)
+}
+
+// TcpPcb is a TCP protocol control block. It is manipulated only on its
+// owning core (chosen when the connection was established), so none of its
+// fields need synchronization - the paper's connection-affinity design.
+type TcpPcb struct {
+	itf   *Interface
+	key   tcpKey
+	core  int
+	state tcpState
+	h     ConnHandler
+
+	// Send state.
+	sndUna, sndNxt uint32
+	sndWnd         uint32
+	retrans        []segment
+	rtoEvent       *sim.Event
+	rtoBackoff     int
+
+	// Receive state.
+	rcvNxt uint32
+	rcvWnd uint32
+	ooo    map[uint32]oooSegment
+
+	flowHash  uint32
+	needAck   bool
+	queuedAck bool
+
+	// Stats.
+	Retransmits uint64
+}
+
+type oooSegment struct {
+	payload *iobuf.IOBuf
+	fin     bool
+	seqLen  uint32
+}
+
+// State returns the connection state name (for logs and tests).
+func (p *TcpPcb) State() string { return p.state.String() }
+
+// Core reports the owning core.
+func (p *TcpPcb) Core() int { return p.core }
+
+// RemoteAddr reports the peer address and port.
+func (p *TcpPcb) RemoteAddr() (Ipv4Addr, uint16) { return p.key.rip, p.key.rport }
+
+// LocalPort reports the local port.
+func (p *TcpPcb) LocalPort() uint16 { return p.key.lport }
+
+// SendWindowRemaining reports how many bytes the peer's advertised window
+// currently allows. Per the paper, applications check this before sending
+// and buffer (or aggregate) themselves when it is exhausted.
+func (p *TcpPcb) SendWindowRemaining() int {
+	inFlight := p.sndNxt - p.sndUna
+	if uint32(inFlight) >= p.sndWnd {
+		return 0
+	}
+	return int(p.sndWnd - inFlight)
+}
+
+// SetReceiveWindow sets the advertised receive window - the pacing control
+// the stack hands to the application instead of kernel socket buffers.
+func (p *TcpPcb) SetReceiveWindow(n int) {
+	if n < 0 {
+		n = 0
+	}
+	if n > 65535 {
+		n = 65535
+	}
+	p.rcvWnd = uint32(n)
+}
+
+// ListenTcp installs a listener. accept is invoked for each new connection
+// (already established) and returns the connection's handler callbacks.
+func (itf *Interface) ListenTcp(port uint16, accept func(c *event.Ctx, pcb *TcpPcb) ConnHandler) (*TcpListener, error) {
+	t := itf.tcp
+	if _, used := t.listeners[port]; used {
+		return nil, fmt.Errorf("netstack: tcp port %d in use", port)
+	}
+	l := &TcpListener{itf: itf, port: port, accept: accept}
+	t.listeners[port] = l
+	return l, nil
+}
+
+// ConnectTcp opens a connection to dst:dstPort. The handler's OnConnected
+// fires when the handshake completes. The connection is owned by the
+// invoking core.
+func (itf *Interface) ConnectTcp(c *event.Ctx, dst Ipv4Addr, dstPort uint16, h ConnHandler) (*TcpPcb, error) {
+	t := itf.tcp
+	var lport uint16
+	for {
+		lport = t.nextPort
+		t.nextPort++
+		if t.nextPort == 0 {
+			t.nextPort = 49152
+		}
+		if _, exists := t.conns.Get(tcpKey{rip: dst, rport: dstPort, lport: lport}); !exists {
+			break
+		}
+	}
+	key := tcpKey{rip: dst, rport: dstPort, lport: lport}
+	t.isn += 64000
+	pcb := &TcpPcb{
+		itf:      itf,
+		key:      key,
+		core:     c.Core().ID,
+		state:    tcpSynSent,
+		h:        h,
+		sndUna:   t.isn,
+		sndNxt:   t.isn,
+		sndWnd:   1, // room for the SYN until the peer advertises
+		rcvWnd:   65535,
+		ooo:      map[uint32]oooSegment{},
+		flowHash: FlowHash(itf.Addr, lport, dst, dstPort),
+	}
+	t.conns.Put(key, pcb)
+	pcb.sendSegment(c, tcpSYN, nil)
+	return pcb, nil
+}
+
+// Send transmits payload on an established connection, segmenting at MSS.
+// It fails if the payload exceeds the remote window: the application is
+// responsible for checking SendWindowRemaining and buffering excess
+// (paper §3.6) - the stack never queues application data.
+func (p *TcpPcb) Send(c *event.Ctx, payload *iobuf.IOBuf) error {
+	if p.state != tcpEstablished && p.state != tcpCloseWait {
+		return fmt.Errorf("netstack: send in state %v", p.state)
+	}
+	n := payload.ComputeChainDataLength()
+	if n > p.SendWindowRemaining() {
+		return fmt.Errorf("netstack: send of %d bytes exceeds remote window %d", n, p.SendWindowRemaining())
+	}
+	// Segment the chain at MSS boundaries. Data is gathered through the
+	// chain without restructuring it (scatter/gather).
+	mss := p.itf.St.Cfg.MSS
+	reader := payload.Reader()
+	for n > 0 {
+		seg := n
+		if seg > mss {
+			seg = mss
+		}
+		data, err := reader.ReadBytes(seg)
+		if err != nil {
+			return fmt.Errorf("netstack: payload chain shorter than declared: %w", err)
+		}
+		p.sendSegment(c, tcpACK|tcpPSH, data)
+		n -= seg
+	}
+	return nil
+}
+
+// Close initiates an orderly shutdown (FIN).
+func (p *TcpPcb) Close(c *event.Ctx) {
+	switch p.state {
+	case tcpEstablished:
+		p.state = tcpFinWait1
+		p.sendSegment(c, tcpFIN|tcpACK, nil)
+	case tcpCloseWait:
+		p.state = tcpLastAck
+		p.sendSegment(c, tcpFIN|tcpACK, nil)
+	}
+}
+
+// Abort sends RST and drops the connection immediately.
+func (p *TcpPcb) Abort(c *event.Ctx) {
+	p.sendRawSegment(c, p.sndNxt, p.rcvNxt, tcpRST|tcpACK, nil)
+	p.teardown(c, fmt.Errorf("netstack: connection aborted"))
+}
+
+// sendSegment builds and transmits one segment carrying data (may be nil),
+// consuming sequence space and arming retransmission.
+func (p *TcpPcb) sendSegment(c *event.Ctx, flags byte, data []byte) {
+	seq := p.sndNxt
+	var seqLen uint32
+	if data != nil {
+		seqLen += uint32(len(data))
+	}
+	if flags&tcpSYN != 0 || flags&tcpFIN != 0 {
+		seqLen++
+	}
+	frame := p.buildFrame(seq, p.rcvNxt, flags, data)
+	p.sndNxt += seqLen
+	if seqLen > 0 {
+		p.retrans = append(p.retrans, segment{seq: seq, flags: flags, frame: frame, seqLen: seqLen})
+		p.armRTO()
+	}
+	p.transmitFrame(c, frame)
+	p.needAck = false // every segment carries the current ack
+}
+
+// sendRawSegment transmits a segment without consuming sequence space
+// (pure ACKs, RSTs, retransmissions use buildFrame directly).
+func (p *TcpPcb) sendRawSegment(c *event.Ctx, seq, ack uint32, flags byte, data []byte) {
+	p.transmitFrame(c, p.buildFrame(seq, ack, flags, data))
+}
+
+// buildFrame assembles ip+tcp headers plus payload into one IOBuf.
+func (p *TcpPcb) buildFrame(seq, ack uint32, flags byte, data []byte) *iobuf.IOBuf {
+	total := Ipv4HeaderLen + TcpHeaderLen + len(data)
+	buf := iobuf.New(total)
+	writeIpv4(buf.Append(Ipv4HeaderLen), Ipv4Header{
+		TotalLen: uint16(total),
+		TTL:      64,
+		Proto:    ProtoTCP,
+		Src:      p.itf.Addr,
+		Dst:      p.key.rip,
+	})
+	writeTcp(buf.Append(TcpHeaderLen), TcpHeader{
+		SrcPort: p.key.lport,
+		DstPort: p.key.rport,
+		Seq:     seq,
+		Ack:     ack,
+		DataOff: TcpHeaderLen,
+		Flags:   flags,
+		Window:  uint16(p.rcvWnd),
+	})
+	if len(data) > 0 {
+		copy(buf.Append(len(data)), data)
+	}
+	return buf
+}
+
+func (p *TcpPcb) transmitFrame(c *event.Ctx, frame *iobuf.IOBuf) {
+	c.Charge(p.itf.St.Cfg.PerPacketCPU)
+	// ARP failures surface via retransmission timeout, as on real stacks.
+	_ = p.itf.EthArpSend(c, EtherTypeIPv4, p.key.rip, frame, p.flowHash)
+}
+
+// armRTO starts the retransmission timer if not running.
+func (p *TcpPcb) armRTO() {
+	if p.rtoEvent != nil {
+		return
+	}
+	mgr := p.itf.St.Mgrs[p.core]
+	rto := p.itf.St.Cfg.RTO << p.rtoBackoff
+	p.rtoEvent = mgr.After(rto, func(c *event.Ctx) {
+		p.rtoEvent = nil
+		if len(p.retrans) == 0 {
+			return
+		}
+		if p.rtoBackoff > 8 {
+			p.teardown(c, fmt.Errorf("netstack: too many retransmissions"))
+			return
+		}
+		p.rtoBackoff++
+		p.Retransmits++
+		// Retransmit the earliest unacked segment (go-back-one; the
+		// simulated links do not reorder).
+		seg := p.retrans[0]
+		p.transmitFrame(c, copyFrame(seg.frame))
+		p.armRTO()
+	})
+}
+
+// copyFrame duplicates a built frame so the retransmission keeps a pristine
+// copy (the in-flight one is consumed by delivery).
+func copyFrame(f *iobuf.IOBuf) *iobuf.IOBuf { return iobuf.FromBytes(f.CopyOut()) }
+
+func (p *TcpPcb) cancelRTO() {
+	if p.rtoEvent != nil {
+		p.rtoEvent.Cancel()
+		p.rtoEvent = nil
+	}
+}
+
+func (p *TcpPcb) teardown(c *event.Ctx, err error) {
+	p.cancelRTO()
+	wasClosed := p.state == tcpClosed
+	p.state = tcpClosed
+	p.itf.tcp.conns.Delete(p.key)
+	if !wasClosed && p.h.OnClosed != nil {
+		p.h.OnClosed(c, p, err)
+	}
+}
+
+// receive demultiplexes one TCP packet to its connection or listener.
+func (t *tcpLayer) receive(c *event.Ctx, ip Ipv4Header, buf *iobuf.IOBuf) {
+	hdr, err := parseTcp(buf.Data())
+	if err != nil {
+		return
+	}
+	payloadView(buf, hdr.DataOff)
+
+	key := tcpKey{rip: ip.Src, rport: hdr.SrcPort, lport: hdr.DstPort}
+	if pcb, ok := t.conns.Get(key); ok {
+		if pcb.core != c.Core().ID {
+			// Steer to the owning core (should be rare with symmetric RSS).
+			t.itf.St.Mgrs[pcb.core].Spawn(func(c2 *event.Ctx) {
+				pcb.input(c2, hdr, buf)
+				pcb.flushAck(c2)
+			})
+			return
+		}
+		pcb.input(c, hdr, buf)
+		t.queueAck(pcb)
+		return
+	}
+
+	// No connection: a listener may accept a SYN.
+	if l, ok := t.listeners[hdr.DstPort]; ok && hdr.Flags&tcpSYN != 0 && hdr.Flags&tcpACK == 0 {
+		t.acceptSyn(c, l, ip, hdr)
+		return
+	}
+	// Otherwise reset (unless this was itself a reset).
+	if hdr.Flags&tcpRST == 0 {
+		t.sendReset(c, ip, hdr)
+	}
+}
+
+// queueAck defers the connection's ACK until the driver finishes the
+// current receive batch, coalescing ACKs across segments that arrived
+// together (a software analogue of interrupt-batch acknowledgment).
+func (t *tcpLayer) queueAck(pcb *TcpPcb) {
+	if pcb.needAck && !pcb.queuedAck {
+		pcb.queuedAck = true
+		t.ackQueue = append(t.ackQueue, pcb)
+	}
+}
+
+// flushAcks sends coalesced ACKs at the end of a receive batch.
+func (t *tcpLayer) flushAcks(c *event.Ctx) {
+	q := t.ackQueue
+	t.ackQueue = nil
+	for _, pcb := range q {
+		pcb.queuedAck = false
+		pcb.flushAck(c)
+	}
+}
+
+func (p *TcpPcb) flushAck(c *event.Ctx) {
+	if !p.needAck || p.state == tcpClosed {
+		return
+	}
+	p.needAck = false
+	p.sendRawSegment(c, p.sndNxt, p.rcvNxt, tcpACK, nil)
+}
+
+func (t *tcpLayer) acceptSyn(c *event.Ctx, l *TcpListener, ip Ipv4Header, hdr TcpHeader) {
+	key := tcpKey{rip: ip.Src, rport: hdr.SrcPort, lport: hdr.DstPort}
+	t.isn += 64000
+	pcb := &TcpPcb{
+		itf:      t.itf,
+		key:      key,
+		core:     c.Core().ID, // RSS placed the SYN here; affinity follows
+		state:    tcpSynReceived,
+		sndUna:   t.isn,
+		sndNxt:   t.isn,
+		sndWnd:   uint32(hdr.Window),
+		rcvNxt:   hdr.Seq + 1,
+		rcvWnd:   65535,
+		ooo:      map[uint32]oooSegment{},
+		flowHash: FlowHash(t.itf.Addr, hdr.DstPort, ip.Src, hdr.SrcPort),
+	}
+	pcb.h = l.accept(c, pcb)
+	t.conns.Put(key, pcb)
+	pcb.sendSegment(c, tcpSYN|tcpACK, nil)
+}
+
+func (t *tcpLayer) sendReset(c *event.Ctx, ip Ipv4Header, hdr TcpHeader) {
+	tmp := &TcpPcb{
+		itf:      t.itf,
+		key:      tcpKey{rip: ip.Src, rport: hdr.SrcPort, lport: hdr.DstPort},
+		flowHash: FlowHash(t.itf.Addr, hdr.DstPort, ip.Src, hdr.SrcPort),
+	}
+	tmp.sendRawSegment(c, hdr.Ack, hdr.Seq+1, tcpRST|tcpACK, nil)
+}
+
+// input runs the connection state machine for one segment.
+func (p *TcpPcb) input(c *event.Ctx, hdr TcpHeader, payload *iobuf.IOBuf) {
+	if hdr.Flags&tcpRST != 0 {
+		p.teardown(c, fmt.Errorf("netstack: connection reset by peer"))
+		return
+	}
+
+	switch p.state {
+	case tcpSynSent:
+		if hdr.Flags&(tcpSYN|tcpACK) == tcpSYN|tcpACK && hdr.Ack == p.sndNxt {
+			p.processAck(c, hdr)
+			p.rcvNxt = hdr.Seq + 1
+			p.state = tcpEstablished
+			p.needAck = true
+			p.flushAck(c)
+			if p.h.OnConnected != nil {
+				p.h.OnConnected(c, p)
+			}
+		}
+		return
+	case tcpSynReceived:
+		if hdr.Flags&tcpACK != 0 && seqLT(p.sndUna, hdr.Ack) {
+			p.processAck(c, hdr)
+			p.state = tcpEstablished
+			if p.h.OnConnected != nil {
+				p.h.OnConnected(c, p)
+			}
+			// Fall through to process any data carried on the ACK.
+		} else {
+			return
+		}
+	}
+
+	if hdr.Flags&tcpACK != 0 {
+		p.processAck(c, hdr)
+	}
+	if p.state == tcpClosed {
+		return
+	}
+	p.processData(c, hdr, payload)
+}
+
+// processAck advances the send window and releases retransmission state.
+func (p *TcpPcb) processAck(c *event.Ctx, hdr TcpHeader) {
+	ack := hdr.Ack
+	wasZero := p.SendWindowRemaining() == 0
+	p.sndWnd = uint32(hdr.Window)
+	if seqLT(p.sndUna, ack) && seqLEQ(ack, p.sndNxt) {
+		p.sndUna = ack
+		p.rtoBackoff = 0
+		// Drop fully acknowledged segments, counting the *data* bytes they
+		// carried (SYN and FIN consume sequence space but are not data, so
+		// the application's OnAcked never fires for handshake traffic).
+		dataAcked := 0
+		keep := p.retrans[:0]
+		for _, seg := range p.retrans {
+			if seqLT(ack, seg.seq+seg.seqLen) {
+				keep = append(keep, seg)
+				continue
+			}
+			n := int(seg.seqLen)
+			if seg.flags&tcpSYN != 0 {
+				n--
+			}
+			if seg.flags&tcpFIN != 0 {
+				n--
+			}
+			dataAcked += n
+		}
+		p.retrans = keep
+		p.cancelRTO()
+		if len(p.retrans) > 0 {
+			p.armRTO()
+		}
+		// State transitions driven by our FIN being acknowledged. The FIN
+		// occupies the last sequence number, so it is covered exactly when
+		// the ack reaches sndNxt.
+		finCovered := p.sndUna == p.sndNxt
+		switch p.state {
+		case tcpFinWait1:
+			if finCovered {
+				p.state = tcpFinWait2
+			}
+		case tcpClosing:
+			if finCovered {
+				p.enterTimeWait(c)
+			}
+		case tcpLastAck:
+			if finCovered {
+				p.teardown(c, nil)
+				return
+			}
+		}
+		if dataAcked > 0 && p.h.OnAcked != nil {
+			p.h.OnAcked(c, p, dataAcked)
+		}
+	}
+	if wasZero && p.SendWindowRemaining() > 0 && p.h.OnWindowOpen != nil {
+		p.h.OnWindowOpen(c, p)
+	}
+}
+
+// processData handles in-order delivery, reassembly, and FIN.
+func (p *TcpPcb) processData(c *event.Ctx, hdr TcpHeader, payload *iobuf.IOBuf) {
+	seqLen := uint32(payload.ComputeChainDataLength())
+	fin := hdr.Flags&tcpFIN != 0
+	if fin {
+		seqLen++
+	}
+	if seqLen == 0 {
+		return
+	}
+	seq := hdr.Seq
+	// Discard already-received prefix.
+	if seqLT(seq, p.rcvNxt) {
+		dup := p.rcvNxt - seq
+		if dup >= seqLen {
+			p.needAck = true // pure duplicate: re-ACK
+			return
+		}
+		advance := int(dup)
+		if advance > payload.ComputeChainDataLength() {
+			advance = payload.ComputeChainDataLength()
+		}
+		chainAdvance(payload, advance)
+		seq += dup
+	}
+	if seq != p.rcvNxt {
+		// Out of order: stash for reassembly and duplicate-ACK.
+		if _, dup := p.ooo[seq]; !dup {
+			p.ooo[seq] = oooSegment{payload: payload, fin: fin, seqLen: seqLen - (seq - hdr.Seq)}
+		}
+		p.needAck = true
+		return
+	}
+	p.deliver(c, payload, fin, seqLen-(seq-hdr.Seq))
+	// Drain any contiguous out-of-order segments.
+	for {
+		next, ok := p.ooo[p.rcvNxt]
+		if !ok {
+			break
+		}
+		delete(p.ooo, p.rcvNxt)
+		p.deliver(c, next.payload, next.fin, next.seqLen)
+	}
+}
+
+// chainAdvance advances a view across chain elements.
+func chainAdvance(buf *iobuf.IOBuf, n int) {
+	cur := buf
+	for n > 0 {
+		step := cur.Length()
+		if step > n {
+			step = n
+		}
+		cur.Advance(step)
+		n -= step
+		if n == 0 {
+			break
+		}
+		cur = cur.Next()
+		if cur == buf {
+			break
+		}
+	}
+}
+
+// deliver hands in-order payload to the application and advances rcvNxt.
+func (p *TcpPcb) deliver(c *event.Ctx, payload *iobuf.IOBuf, fin bool, seqLen uint32) {
+	p.rcvNxt += seqLen
+	p.needAck = true
+	if n := payload.ComputeChainDataLength(); n > 0 && p.h.OnReceive != nil {
+		c.Charge(p.itf.St.Cfg.AppDeliverCPU)
+		p.h.OnReceive(c, p, payload)
+	}
+	if fin {
+		switch p.state {
+		case tcpEstablished:
+			// Remote half-closed; the local side may still send until it
+			// calls Close. OnClosed fires only at full teardown.
+			p.state = tcpCloseWait
+			if p.h.OnRemoteClosed != nil {
+				p.h.OnRemoteClosed(c, p)
+			}
+		case tcpFinWait1:
+			p.state = tcpClosing
+		case tcpFinWait2:
+			p.enterTimeWait(c)
+		}
+	}
+}
+
+// enterTimeWait briefly parks the key before release (shortened 2MSL; the
+// simulated network cannot deliver ancient duplicates).
+func (p *TcpPcb) enterTimeWait(c *event.Ctx) {
+	p.state = tcpTimeWait
+	p.flushAck(c)
+	mgr := p.itf.St.Mgrs[p.core]
+	mgr.After(1*sim.Millisecond, func(c2 *event.Ctx) {
+		p.teardown(c2, nil)
+	})
+}

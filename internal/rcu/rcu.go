@@ -1,0 +1,94 @@
+// Package rcu implements read-copy-update synchronization and an RCU hash
+// table (paper §3.6, §4.2).
+//
+// EbbRT's event-driven execution makes RCU a natural primitive: without
+// preemption, entering and exiting a read-side critical section costs
+// nothing, and grace periods align with event boundaries. The network
+// stack keeps connection state in an RCU hash table so common-case lookups
+// proceed without atomic operations on shared cache lines, and the
+// memcached port stores key-value pairs the same way to avoid lock
+// contention.
+//
+// This implementation is also correct under real goroutine parallelism
+// (the hosted environment and the test suite's race-detector runs):
+// readers publish their epoch with release/acquire atomics, and writers
+// wait for a grace period with Synchronize.
+package rcu
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Domain tracks a set of readers for grace-period detection. The zero
+// value is not usable; call NewDomain.
+type Domain struct {
+	epoch   atomic.Uint64
+	mu      sync.Mutex // registration and Synchronize serialization
+	readers []*Reader
+}
+
+// NewDomain returns an empty RCU domain at epoch 1.
+func NewDomain() *Domain {
+	d := &Domain{}
+	d.epoch.Store(1)
+	return d
+}
+
+// Reader is one registered read-side context (a core in the native
+// environment, a goroutine in the hosted one).
+type Reader struct {
+	// state is 0 when quiescent, else the epoch observed at Lock.
+	state atomic.Uint64
+	_     [56]byte // pad to a cache line to avoid false sharing
+}
+
+// Register adds a reader to the domain.
+func (d *Domain) Register() *Reader {
+	r := &Reader{}
+	d.mu.Lock()
+	d.readers = append(d.readers, r)
+	d.mu.Unlock()
+	return r
+}
+
+// Lock enters a read-side critical section. Under the non-preemptive event
+// model this is one store to a core-local line - the "no cost" property
+// the paper highlights.
+func (r *Reader) Lock() { r.state.Store(r.stateEpoch()) }
+
+func (r *Reader) stateEpoch() uint64 { return domainEpochHint.Load() }
+
+// domainEpochHint lets Lock avoid a pointer back to the domain; all
+// domains share the hint counter, which only ever needs to be a recent
+// lower bound of any domain's epoch for correctness (a reader stamped with
+// an older epoch simply delays the grace period by one check round).
+var domainEpochHint atomic.Uint64
+
+func init() { domainEpochHint.Store(1) }
+
+// Unlock exits the read-side critical section.
+func (r *Reader) Unlock() { r.state.Store(0) }
+
+// Synchronize waits until every reader that was inside a critical section
+// when it was called has exited: a grace period. Writers call it after
+// unpublishing data and before reclaiming it.
+func (d *Domain) Synchronize() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	newEpoch := d.epoch.Add(1)
+	domainEpochHint.Add(1)
+	for _, r := range d.readers {
+		for {
+			s := r.state.Load()
+			if s == 0 || s >= newEpoch {
+				break
+			}
+			runtime.Gosched()
+		}
+	}
+}
+
+// Epoch reports the current epoch (for tests).
+func (d *Domain) Epoch() uint64 { return d.epoch.Load() }

@@ -1,0 +1,202 @@
+// Package sim provides the deterministic discrete-event simulation substrate
+// on which the EbbRT reproduction runs: a virtual-time event kernel, a
+// seedable random number generator, and latency statistics.
+//
+// All macro-experiments in the paper (Figures 4-7, Table 2) execute on this
+// kernel so that results are exactly reproducible run-to-run. Virtual time
+// is measured in nanoseconds and stored as an int64, which covers simulations
+// of roughly 292 years - far beyond anything the harnesses schedule.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Common virtual-time unit constants.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Duration converts a standard library duration to virtual nanoseconds.
+func Duration(d time.Duration) Time { return Time(d.Nanoseconds()) }
+
+// Std converts a virtual time span back to a standard library duration.
+func (t Time) Std() time.Duration { return time.Duration(t) }
+
+// Micros reports t as fractional microseconds, convenient for experiment
+// output that mirrors the paper's latency tables.
+func (t Time) Micros() float64 { return float64(t) / 1e3 }
+
+// String renders the time with microsecond precision.
+func (t Time) String() string { return fmt.Sprintf("%.3fus", t.Micros()) }
+
+// Event is a scheduled callback. It may be cancelled before it fires.
+type Event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	heapIdx  int
+	canceled bool
+	fired    bool
+}
+
+// At reports the virtual time the event is scheduled to fire.
+func (e *Event) At() Time { return e.at }
+
+// Cancel prevents the event from firing. Cancelling an event that has
+// already fired or been cancelled is a no-op. Cancel reports whether the
+// event was still pending.
+func (e *Event) Cancel() bool {
+	if e.canceled || e.fired {
+		return false
+	}
+	e.canceled = true
+	return true
+}
+
+// Kernel is a single-threaded discrete-event executor. Events scheduled for
+// the same instant fire in scheduling order (FIFO), making every simulation
+// deterministic. Kernel is not safe for concurrent use; the event package
+// layers deterministic coroutine blocking on top of it.
+type Kernel struct {
+	now   Time
+	seq   uint64
+	queue eventHeap
+	// fired counts events executed; useful for debugging runaway loops.
+	fired uint64
+}
+
+// NewKernel returns an empty kernel at virtual time zero.
+func NewKernel() *Kernel { return &Kernel{} }
+
+// Now reports the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Pending reports the number of events that are scheduled and not cancelled.
+func (k *Kernel) Pending() int {
+	n := 0
+	for _, e := range k.queue {
+		if !e.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// Fired reports how many events have executed since the kernel was created.
+func (k *Kernel) Fired() uint64 { return k.fired }
+
+// At schedules fn to run at virtual time t. Scheduling in the past is a
+// programming error and panics: it would silently reorder causality.
+func (k *Kernel) At(t Time, fn func()) *Event {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
+	}
+	e := &Event{at: t, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.queue, e)
+	return e
+}
+
+// After schedules fn to run d nanoseconds of virtual time from now.
+// Negative delays are clamped to zero.
+func (k *Kernel) After(d Time, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return k.At(k.now+d, fn)
+}
+
+// Step executes the earliest pending event, advancing virtual time to its
+// timestamp. It reports false when no events remain.
+func (k *Kernel) Step() bool {
+	for len(k.queue) > 0 {
+		e := heap.Pop(&k.queue).(*Event)
+		if e.canceled {
+			continue
+		}
+		k.now = e.at
+		e.fired = true
+		k.fired++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until none remain.
+func (k *Kernel) Run() {
+	for k.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock to
+// exactly t (even if the queue drained earlier).
+func (k *Kernel) RunUntil(t Time) {
+	for len(k.queue) > 0 {
+		e := k.peek()
+		if e == nil || e.at > t {
+			break
+		}
+		k.Step()
+	}
+	if k.now < t {
+		k.now = t
+	}
+}
+
+// RunFor executes events for d nanoseconds of virtual time from now.
+func (k *Kernel) RunFor(d Time) { k.RunUntil(k.now + d) }
+
+func (k *Kernel) peek() *Event {
+	for len(k.queue) > 0 {
+		e := k.queue[0]
+		if e.canceled {
+			heap.Pop(&k.queue)
+			continue
+		}
+		return e
+	}
+	return nil
+}
+
+// eventHeap orders events by (time, sequence).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIdx = i
+	h[j].heapIdx = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.heapIdx = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}

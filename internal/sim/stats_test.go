@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	r := NewRecorder(0)
+	if r.Mean() != 0 || r.Percentile(99) != 0 || r.Max() != 0 || r.Min() != 0 {
+		t.Fatal("empty recorder should report zeros")
+	}
+	for i := 1; i <= 100; i++ {
+		r.Add(Time(i * 1000))
+	}
+	if r.Count() != 100 {
+		t.Fatalf("Count = %d", r.Count())
+	}
+	if got := r.Mean(); got != Time(50500) {
+		t.Fatalf("Mean = %v, want 50500", got)
+	}
+	if got := r.Min(); got != 1000 {
+		t.Fatalf("Min = %v", got)
+	}
+	if got := r.Max(); got != 100000 {
+		t.Fatalf("Max = %v", got)
+	}
+	p50 := r.Percentile(50)
+	if p50 < 50000 || p50 > 51000 {
+		t.Fatalf("p50 = %v", p50)
+	}
+	p99 := r.Percentile(99)
+	if p99 < 99000 || p99 > 100000 {
+		t.Fatalf("p99 = %v", p99)
+	}
+}
+
+func TestRecorderAddAfterQuery(t *testing.T) {
+	r := NewRecorder(0)
+	r.Add(10)
+	_ = r.Percentile(50)
+	r.Add(5)
+	if r.Min() != 5 {
+		t.Fatal("recorder did not re-sort after post-query Add")
+	}
+}
+
+func TestRecorderReset(t *testing.T) {
+	r := NewRecorder(0)
+	r.Add(10)
+	r.Reset()
+	if r.Count() != 0 || r.Mean() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by [Min, Max].
+func TestRecorderPercentileMonotone(t *testing.T) {
+	prop := func(vals []uint32) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		r := NewRecorder(len(vals))
+		for _, v := range vals {
+			r.Add(Time(v))
+		}
+		prev := r.Percentile(0)
+		if prev != r.Min() {
+			return false
+		}
+		for p := 5.0; p <= 100; p += 5 {
+			cur := r.Percentile(p)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return prev == r.Max()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := Counter{Name: "rx"}
+	c.Inc()
+	c.AddN(4)
+	if c.N != 5 {
+		t.Fatalf("Counter = %d, want 5", c.N)
+	}
+}
