@@ -1,0 +1,3 @@
+module ebbrt
+
+go 1.24

@@ -125,3 +125,28 @@ func BuildDelete(key []byte, opaque uint32) []byte {
 
 // GetResponseExtrasLen is the flags field carried on GET responses.
 const GetResponseExtrasLen = 4
+
+// NextFrame splits one complete packet off the head of a byte stream.
+// It is the single implementation of the protocol's framing rule,
+// shared by the server, the cluster client, and the load generator. It
+// returns n == 0 (and no error) while data holds only a partial packet;
+// it returns an error as soon as the header is malformed or carries the
+// wrong magic - without waiting for the body, since a desynced stream
+// never resynchronizes and the connection should be torn down.
+func NextFrame(data []byte, magic byte) (hdr Header, body []byte, n int, err error) {
+	if len(data) < HeaderLen {
+		return Header{}, nil, 0, nil
+	}
+	hdr, err = ParseHeader(data)
+	if err != nil {
+		return Header{}, nil, 0, err
+	}
+	if hdr.Magic != magic {
+		return Header{}, nil, 0, fmt.Errorf("memcached: magic %#x, want %#x", hdr.Magic, magic)
+	}
+	total := HeaderLen + int(hdr.BodyLen)
+	if len(data) < total {
+		return hdr, nil, 0, nil
+	}
+	return hdr, data[HeaderLen:total], total, nil
+}

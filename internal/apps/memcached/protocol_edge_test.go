@@ -1,0 +1,335 @@
+package memcached
+
+import (
+	"bytes"
+	"testing"
+
+	"ebbrt/internal/apps/appnet"
+	"ebbrt/internal/event"
+	"ebbrt/internal/iobuf"
+	"ebbrt/internal/machine"
+	"ebbrt/internal/sim"
+)
+
+// fakeConn captures server output without a network, so the protocol
+// edge cases (especially the every-byte-offset split sweep) run at unit
+// speed against the real serverConn reassembly/dispatch logic.
+type fakeConn struct {
+	out    []byte
+	closed bool
+}
+
+func (f *fakeConn) Send(c *event.Ctx, payload *iobuf.IOBuf) { f.out = append(f.out, payload.CopyOut()...) }
+func (f *fakeConn) Close(c *event.Ctx)                      { f.closed = true }
+func (f *fakeConn) Core() int                               { return 0 }
+
+// protoHarness runs fn inside a live event context.
+func protoHarness(t *testing.T, fn func(c *event.Ctx)) {
+	t.Helper()
+	k := sim.NewKernel()
+	m := machine.New(k, machine.DefaultConfig("proto", 1))
+	mgr := event.NewManager(m.Cores[0], event.DefaultCosts())
+	done := false
+	mgr.Spawn(func(c *event.Ctx) {
+		fn(c)
+		done = true
+	})
+	k.RunUntil(1 * sim.Second)
+	if !done {
+		t.Fatal("harness event did not run")
+	}
+}
+
+// feed delivers the byte chunks to a fresh server connection and
+// returns the connection, its fake transport, and the server.
+func feed(c *event.Ctx, srv *Server, chunks ...[]byte) (*serverConn, *fakeConn) {
+	sc := &serverConn{srv: srv}
+	fc := &fakeConn{}
+	for _, chunk := range chunks {
+		if sc.srv != nil && !fc.closed {
+			sc.onData(c, fc, iobuf.Wrap(chunk))
+		}
+	}
+	return sc, fc
+}
+
+func parseResponses(t *testing.T, raw []byte) ([]Header, [][]byte) {
+	t.Helper()
+	var hdrs []Header
+	var bodies [][]byte
+	for off := 0; off < len(raw); {
+		h, err := ParseHeader(raw[off:])
+		if err != nil {
+			t.Fatalf("bad response at %d: %v", off, err)
+		}
+		if h.Magic != MagicResponse {
+			t.Fatalf("response magic %#x", h.Magic)
+		}
+		total := HeaderLen + int(h.BodyLen)
+		if off+total > len(raw) {
+			t.Fatalf("truncated response at %d", off)
+		}
+		hdrs = append(hdrs, h)
+		bodies = append(bodies, raw[off+HeaderLen:off+total])
+		off += total
+	}
+	return hdrs, bodies
+}
+
+func TestTruncatedHeaderHeldUntilCompleted(t *testing.T) {
+	// A partial header must produce no response and no close; the
+	// request completes when the remainder arrives.
+	req := BuildGet([]byte("k"), 7)
+	for cut := 1; cut < HeaderLen; cut++ {
+		protoHarness(t, func(c *event.Ctx) {
+			srv := NewServer(NewRCUStore(), 1)
+			srv.Store.Set("k", &Entry{Value: []byte("v")})
+			sc, fc := feed(c, srv, req[:cut])
+			if len(fc.out) != 0 || fc.closed {
+				t.Fatalf("cut=%d: server reacted to truncated header (out=%d closed=%v)",
+					cut, len(fc.out), fc.closed)
+			}
+			sc.onData(c, fc, iobuf.Wrap(req[cut:]))
+			hdrs, bodies := parseResponses(t, fc.out)
+			if len(hdrs) != 1 || hdrs[0].Status != StatusOK || string(bodies[0][GetResponseExtrasLen:]) != "v" {
+				t.Fatalf("cut=%d: bad completion %+v", cut, hdrs)
+			}
+		})
+	}
+}
+
+func TestTruncatedHeaderNeverAnsweredIfAbandoned(t *testing.T) {
+	protoHarness(t, func(c *event.Ctx) {
+		srv := NewServer(NewRCUStore(), 1)
+		_, fc := feed(c, srv, BuildGet([]byte("k"), 1)[:HeaderLen-1])
+		if len(fc.out) != 0 || fc.closed {
+			t.Fatalf("reacted to abandoned partial header")
+		}
+		if srv.Requests != 0 {
+			t.Fatalf("counted %d requests for zero complete frames", srv.Requests)
+		}
+	})
+}
+
+func TestBadMagicClosesConnection(t *testing.T) {
+	protoHarness(t, func(c *event.Ctx) {
+		srv := NewServer(NewRCUStore(), 1)
+		junk := make([]byte, HeaderLen)
+		junk[0] = 0x42 // neither request nor response magic
+		_, fc := feed(c, srv, junk)
+		if !fc.closed {
+			t.Fatal("protocol error did not close the connection")
+		}
+		if len(fc.out) != 0 {
+			t.Fatal("response sent on protocol error")
+		}
+	})
+}
+
+func TestUnknownOpcodeStatus(t *testing.T) {
+	protoHarness(t, func(c *event.Ctx) {
+		srv := NewServer(NewRCUStore(), 1)
+		req := buildOp(0x55, []byte("key"), 0xbeef)
+		_, fc := feed(c, srv, req)
+		hdrs, _ := parseResponses(t, fc.out)
+		if len(hdrs) != 1 {
+			t.Fatalf("%d responses", len(hdrs))
+		}
+		if hdrs[0].Status != StatusUnknownCmd {
+			t.Fatalf("status %#x, want StatusUnknownCmd", hdrs[0].Status)
+		}
+		if hdrs[0].Opaque != 0xbeef || hdrs[0].Opcode != 0x55 {
+			t.Fatalf("echo fields wrong: %+v", hdrs[0])
+		}
+	})
+}
+
+// buildSetQ encodes a quiet SET.
+func buildSetQ(key, value []byte, opaque uint32) []byte {
+	b := BuildSet(key, value, 0, opaque)
+	b[1] = OpSetQ
+	return b
+}
+
+func TestQuietSemantics(t *testing.T) {
+	// The quiet variants answer only when something went wrong: GetQ
+	// suppresses misses (but answers hits), SetQ suppresses successes.
+	cases := []struct {
+		name string
+		prep func(s Store)
+		req  func() []byte
+		// wantOpaques lists the responses that must appear, in order; a
+		// trailing Noop (opaque 99) is always appended as a fence.
+		wantOpaques  []uint32
+		wantStatuses []uint16
+	}{
+		{
+			name:         "GetQ miss is silent",
+			req:          func() []byte { return buildOp(OpGetQ, []byte("absent"), 1) },
+			wantOpaques:  []uint32{99},
+			wantStatuses: []uint16{StatusOK},
+		},
+		{
+			name:         "GetQ hit answers",
+			prep:         func(s Store) { s.Set("present", &Entry{Value: []byte("v")}) },
+			req:          func() []byte { return buildOp(OpGetQ, []byte("present"), 2) },
+			wantOpaques:  []uint32{2, 99},
+			wantStatuses: []uint16{StatusOK, StatusOK},
+		},
+		{
+			name:         "SetQ success is silent",
+			req:          func() []byte { return buildSetQ([]byte("sk"), []byte("sv"), 3) },
+			wantOpaques:  []uint32{99},
+			wantStatuses: []uint16{StatusOK},
+		},
+		{
+			name:         "loud Get miss answers",
+			req:          func() []byte { return BuildGet([]byte("absent"), 4) },
+			wantOpaques:  []uint32{4, 99},
+			wantStatuses: []uint16{StatusKeyNotFound, StatusOK},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			protoHarness(t, func(c *event.Ctx) {
+				srv := NewServer(NewRCUStore(), 1)
+				if tc.prep != nil {
+					tc.prep(srv.Store)
+				}
+				noop := buildOp(OpNoop, nil, 99)
+				_, fc := feed(c, srv, append(tc.req(), noop...))
+				hdrs, _ := parseResponses(t, fc.out)
+				if len(hdrs) != len(tc.wantOpaques) {
+					t.Fatalf("%d responses, want %d: %+v", len(hdrs), len(tc.wantOpaques), hdrs)
+				}
+				for i := range hdrs {
+					if hdrs[i].Opaque != tc.wantOpaques[i] || hdrs[i].Status != tc.wantStatuses[i] {
+						t.Fatalf("response %d = opaque %d status %#x, want opaque %d status %#x",
+							i, hdrs[i].Opaque, hdrs[i].Status, tc.wantOpaques[i], tc.wantStatuses[i])
+					}
+				}
+			})
+		})
+	}
+}
+
+func TestQuietSetIsApplied(t *testing.T) {
+	protoHarness(t, func(c *event.Ctx) {
+		srv := NewServer(NewRCUStore(), 1)
+		feed(c, srv, buildSetQ([]byte("sk"), []byte("sv"), 1))
+		e, ok := srv.Store.Get("sk")
+		if !ok || string(e.Value) != "sv" {
+			t.Fatalf("SetQ not applied: %+v ok=%v", e, ok)
+		}
+	})
+}
+
+func TestMultiRequestFrameSplitAtEveryOffset(t *testing.T) {
+	// A pipelined frame of mixed loud/quiet requests must produce
+	// byte-identical output no matter where the stream is split in two.
+	key := []byte("pipeline-key")
+	frame := BuildSet(key, []byte("value-1"), 5, 1)
+	frame = append(frame, buildOp(OpGetQ, []byte("no-such-key"), 2)...) // silent miss
+	frame = append(frame, BuildGet(key, 3)...)
+	frame = append(frame, buildSetQ(key, []byte("value-2"), 4)...) // silent success
+	frame = append(frame, BuildGet(key, 5)...)
+	frame = append(frame, buildOp(OpNoop, nil, 6)...)
+
+	// Reference: the whole frame in one delivery.
+	var want []byte
+	protoHarness(t, func(c *event.Ctx) {
+		srv := NewServer(NewRCUStore(), 1)
+		_, fc := feed(c, srv, frame)
+		want = append([]byte(nil), fc.out...)
+	})
+	hdrs, bodies := parseResponses(t, want)
+	if len(hdrs) != 4 {
+		t.Fatalf("reference run: %d responses, want 4", len(hdrs))
+	}
+	if string(bodies[1][GetResponseExtrasLen:]) != "value-1" || string(bodies[2][GetResponseExtrasLen:]) != "value-2" {
+		t.Fatalf("reference run bodies wrong")
+	}
+
+	for cut := 1; cut < len(frame); cut++ {
+		protoHarness(t, func(c *event.Ctx) {
+			srv := NewServer(NewRCUStore(), 1)
+			_, fc := feed(c, srv, frame[:cut], frame[cut:])
+			if !bytes.Equal(fc.out, want) {
+				t.Fatalf("cut=%d: output diverged (%d bytes vs %d)", cut, len(fc.out), len(want))
+			}
+			if srv.Requests != 6 {
+				t.Fatalf("cut=%d: served %d requests, want 6", cut, srv.Requests)
+			}
+		})
+	}
+}
+
+func TestMultiRequestFrameByteAtATime(t *testing.T) {
+	// The adversarial extreme: one byte per delivery.
+	key := []byte("k")
+	frame := BuildSet(key, []byte("v"), 0, 1)
+	frame = append(frame, BuildGet(key, 2)...)
+	var want []byte
+	protoHarness(t, func(c *event.Ctx) {
+		srv := NewServer(NewRCUStore(), 1)
+		_, fc := feed(c, srv, frame)
+		want = append([]byte(nil), fc.out...)
+	})
+	protoHarness(t, func(c *event.Ctx) {
+		srv := NewServer(NewRCUStore(), 1)
+		sc := &serverConn{srv: srv}
+		fc := &fakeConn{}
+		for _, b := range frame {
+			sc.onData(c, fc, iobuf.Wrap([]byte{b}))
+		}
+		if !bytes.Equal(fc.out, want) {
+			t.Fatalf("byte-at-a-time output diverged")
+		}
+	})
+}
+
+func TestNextFrame(t *testing.T) {
+	req := BuildSet([]byte("k"), []byte("v"), 0, 9)
+	cases := []struct {
+		name    string
+		data    []byte
+		magic   byte
+		wantN   int
+		wantErr bool
+	}{
+		{"empty", nil, MagicRequest, 0, false},
+		{"partial header", req[:HeaderLen-1], MagicRequest, 0, false},
+		{"header only", req[:HeaderLen], MagicRequest, 0, false},
+		{"partial body", req[:len(req)-1], MagicRequest, 0, false},
+		{"complete", req, MagicRequest, len(req), false},
+		{"complete plus tail", append(append([]byte(nil), req...), 0xff), MagicRequest, len(req), false},
+		{"wrong magic detected before body", req[:HeaderLen], MagicResponse, 0, true},
+		{"inconsistent lengths", func() []byte {
+			b := make([]byte, HeaderLen)
+			WriteHeader(b, Header{Magic: MagicRequest, KeyLen: 9, BodyLen: 3})
+			return b
+		}(), MagicRequest, 0, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			hdr, body, n, err := NextFrame(tc.data, tc.magic)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("err = %v, wantErr %v", err, tc.wantErr)
+			}
+			if n != tc.wantN {
+				t.Fatalf("n = %d, want %d", n, tc.wantN)
+			}
+			if n > 0 {
+				if hdr.Opaque != 9 {
+					t.Fatalf("header not parsed: %+v", hdr)
+				}
+				if len(body) != int(hdr.BodyLen) {
+					t.Fatalf("body %d bytes, want %d", len(body), hdr.BodyLen)
+				}
+			}
+		})
+	}
+}
+
+// appnet.Conn conformance for the fake.
+var _ appnet.Conn = (*fakeConn)(nil)

@@ -69,22 +69,17 @@ func (sc *serverConn) onData(c *event.Ctx, conn appnet.Conn, payload *iobuf.IOBu
 	var resp []byte
 	consumed := 0
 	for {
-		rest := data[consumed:]
-		if len(rest) < HeaderLen {
-			break
-		}
-		hdr, err := ParseHeader(rest)
-		if err != nil || hdr.Magic != MagicRequest {
+		hdr, body, n, err := NextFrame(data[consumed:], MagicRequest)
+		if err != nil {
 			// Protocol error: drop the connection.
 			conn.Close(c)
 			return
 		}
-		total := HeaderLen + int(hdr.BodyLen)
-		if len(rest) < total {
+		if n == 0 {
 			break
 		}
-		resp = sc.srv.handle(c, hdr, rest[HeaderLen:total], resp)
-		consumed += total
+		resp = sc.srv.handle(c, hdr, body, resp)
+		consumed += n
 	}
 	// Retain any partial request.
 	if consumed < len(data) {

@@ -1,0 +1,230 @@
+package cluster
+
+import (
+	"encoding/binary"
+
+	"ebbrt/internal/apps/appnet"
+	"ebbrt/internal/apps/memcached"
+	"ebbrt/internal/core"
+	"ebbrt/internal/event"
+	"ebbrt/internal/hosted"
+	"ebbrt/internal/iobuf"
+)
+
+// Response is the outcome of one cluster operation.
+type Response struct {
+	Status uint16
+	Flags  uint32
+	Value  []byte
+}
+
+// OK reports protocol success.
+func (r Response) OK() bool { return r.Status == memcached.StatusOK }
+
+// Callback receives an operation's response on the submitting core.
+type Callback func(c *event.Ctx, r Response)
+
+// DefaultPoolSize is the per-core, per-backend connection count.
+const DefaultPoolSize = 2
+
+// Client is the cluster-aware memcached client Ebb. Its id lives in the
+// deployment-wide namespace (allocated by the frontend); each core that
+// touches it faults in its own representative holding private
+// connection pools to every backend, so request submission never
+// crosses cores - the Ebb pattern of paper §3.1 applied client-side.
+type Client struct {
+	cl       *Cluster
+	node     *hosted.Node
+	ref      core.Ref[clientRep]
+	poolSize int
+}
+
+// NewClient installs a client Ebb for the cluster on the given node
+// (typically the hosted frontend). poolSize <= 0 selects
+// DefaultPoolSize connections per core per backend.
+func NewClient(cl *Cluster, node *hosted.Node, poolSize int) *Client {
+	if poolSize <= 0 {
+		poolSize = DefaultPoolSize
+	}
+	cli := &Client{cl: cl, node: node, poolSize: poolSize}
+	id := cl.Sys.AllocateEbbId()
+	cli.ref = core.Attach(node.Domain, id, func(corei int) *clientRep {
+		return &clientRep{cli: cli, pools: map[int]*backendPool{}}
+	})
+	return cli
+}
+
+// Id returns the Ebb id the client occupies in the shared namespace.
+func (cli *Client) Id() core.Id { return cli.ref.Id() }
+
+// Get fetches key from its shard.
+func (cli *Client) Get(c *event.Ctx, key []byte, cb Callback) {
+	cli.rep(c).submit(c, cli.route(key), func(opaque uint32) []byte {
+		return memcached.BuildGet(key, opaque)
+	}, cb)
+}
+
+// Set stores key=value on its shard.
+func (cli *Client) Set(c *event.Ctx, key, value []byte, flags uint32, cb Callback) {
+	cli.rep(c).submit(c, cli.route(key), func(opaque uint32) []byte {
+		return memcached.BuildSet(key, value, flags, opaque)
+	}, cb)
+}
+
+// Delete removes key from its shard.
+func (cli *Client) Delete(c *event.Ctx, key []byte, cb Callback) {
+	cli.rep(c).submit(c, cli.route(key), func(opaque uint32) []byte {
+		return memcached.BuildDelete(key, opaque)
+	}, cb)
+}
+
+func (cli *Client) rep(c *event.Ctx) *clientRep { return cli.ref.Get(c.Core().ID) }
+
+func (cli *Client) route(key []byte) int { return cli.cl.Ring.Lookup(key) }
+
+// clientRep is one core's representative: private pools, no locks.
+type clientRep struct {
+	cli   *Client
+	pools map[int]*backendPool
+}
+
+// backendPool is one core's connections to one backend.
+type backendPool struct {
+	conns []*clientConn
+	next  int
+}
+
+// submit routes one request onto a pooled connection.
+func (r *clientRep) submit(c *event.Ctx, backend int, build func(opaque uint32) []byte, cb Callback) {
+	pool, ok := r.pools[backend]
+	if !ok {
+		pool = &backendPool{}
+		r.pools[backend] = pool
+	}
+	// Grow the pool to its target size before multiplexing; drop
+	// connections that closed under us and replace them.
+	live := pool.conns[:0]
+	for _, cc := range pool.conns {
+		if !cc.closed {
+			live = append(live, cc)
+		}
+	}
+	pool.conns = live
+	var cc *clientConn
+	if len(pool.conns) < r.cli.poolSize {
+		cc = r.dial(c, backend)
+		pool.conns = append(pool.conns, cc)
+	} else {
+		cc = pool.conns[pool.next%len(pool.conns)]
+		pool.next++
+	}
+	cc.send(c, build, cb)
+}
+
+// dial opens one connection to the backend's memcached port.
+func (r *clientRep) dial(c *event.Ctx, backend int) *clientConn {
+	cc := &clientConn{inflight: map[uint32]Callback{}}
+	node := r.cli.cl.Backends[backend].Node
+	r.cli.node.Runtime.Dial(c, node.IP(), memcached.Port, appnet.Callbacks{
+		OnData: func(c *event.Ctx, conn appnet.Conn, payload *iobuf.IOBuf) {
+			cc.onData(c, payload)
+		},
+		OnClose: func(c *event.Ctx, conn appnet.Conn, err error) {
+			cc.fail(c)
+		},
+	}, func(c *event.Ctx, conn appnet.Conn) {
+		cc.conn = conn
+		cc.connected = true
+		for _, pkt := range cc.pendingTx {
+			conn.Send(c, iobuf.Wrap(pkt))
+		}
+		cc.pendingTx = nil
+	})
+	return cc
+}
+
+// clientConn multiplexes requests over one TCP connection, matching
+// responses to callbacks by opaque.
+type clientConn struct {
+	conn       appnet.Conn
+	connected  bool
+	closed     bool
+	pendingTx  [][]byte
+	inflight   map[uint32]Callback
+	nextOpaque uint32
+	rx         []byte
+}
+
+func (cc *clientConn) send(c *event.Ctx, build func(opaque uint32) []byte, cb Callback) {
+	opaque := cc.nextOpaque
+	cc.nextOpaque++
+	cc.inflight[opaque] = cb
+	pkt := build(opaque)
+	if !cc.connected {
+		cc.pendingTx = append(cc.pendingTx, pkt)
+		return
+	}
+	cc.conn.Send(c, iobuf.Wrap(pkt))
+}
+
+// fail reports every outstanding operation as failed and retires the
+// connection from its pool.
+func (cc *clientConn) fail(c *event.Ctx) {
+	cc.closed = true
+	cc.connected = false
+	for opaque, cb := range cc.inflight {
+		delete(cc.inflight, opaque)
+		if cb != nil {
+			cb(c, Response{Status: memcached.StatusKeyNotFound})
+		}
+	}
+}
+
+// onData reassembles the response stream and dispatches callbacks. A
+// malformed or wrong-magic response means the stream is desynced and
+// can never recover: the connection is torn down and every outstanding
+// operation fails, rather than wedging silently.
+func (cc *clientConn) onData(c *event.Ctx, payload *iobuf.IOBuf) {
+	data := payload.CopyOut()
+	if len(cc.rx) > 0 {
+		cc.rx = append(cc.rx, data...)
+		data = cc.rx
+	}
+	consumed := 0
+	for {
+		hdr, body, n, err := memcached.NextFrame(data[consumed:], memcached.MagicResponse)
+		if err != nil {
+			cc.rx = nil
+			if cc.conn != nil {
+				cc.conn.Close(c)
+			}
+			cc.fail(c)
+			return
+		}
+		if n == 0 {
+			break
+		}
+		consumed += n
+		cb, ok := cc.inflight[hdr.Opaque]
+		if !ok {
+			continue
+		}
+		delete(cc.inflight, hdr.Opaque)
+		if cb == nil {
+			continue
+		}
+		resp := Response{Status: hdr.Status}
+		if int(hdr.ExtrasLen) >= memcached.GetResponseExtrasLen {
+			resp.Flags = binary.BigEndian.Uint32(body)
+		}
+		if len(body) > int(hdr.ExtrasLen) {
+			resp.Value = append([]byte(nil), body[hdr.ExtrasLen:]...)
+		}
+		cb(c, resp)
+	}
+	if consumed < len(data) {
+		cc.rx = append(cc.rx[:0], data[consumed:]...)
+	} else {
+		cc.rx = cc.rx[:0]
+	}
+}

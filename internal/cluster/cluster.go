@@ -1,0 +1,71 @@
+package cluster
+
+import (
+	"ebbrt/internal/apps/memcached"
+	"ebbrt/internal/hosted"
+)
+
+// Backend is one native node running a memcached shard.
+type Backend struct {
+	Node *hosted.Node
+	Srv  *memcached.Server
+}
+
+// Cluster is a sharded memcached deployment: the hosted frontend plus N
+// native backends on one switched network, each backend serving an
+// independent shard of the keyspace selected by the Ring.
+type Cluster struct {
+	Sys      *hosted.System
+	Backends []*Backend
+	Ring     *Ring
+}
+
+// New boots a deployment with the given number of single-shard native
+// backends, each with coresPerBackend cores. The hosted frontend comes
+// up first (it owns id allocation, as in the single-node system); the
+// backends then join and immediately start serving.
+func New(backends, coresPerBackend int) *Cluster {
+	cl := &Cluster{Sys: hosted.NewSystem(), Ring: NewRing(0)}
+	for i := 0; i < backends; i++ {
+		cl.AddBackend(coresPerBackend)
+	}
+	return cl
+}
+
+// AddBackend boots one more native node, starts its memcached shard, and
+// joins it to the ring. Keys that hash onto the new backend's points
+// migrate to it; the consistent ring keeps that share bounded near
+// 1/(n+1) of the keyspace (no store handoff is performed - as with real
+// memcached, migrated keys fault in as cache misses).
+func (cl *Cluster) AddBackend(cores int) *Backend {
+	node := cl.Sys.AddNativeNode(cores)
+	srv := memcached.NewServer(memcached.NewRCUStore(), cores)
+	if err := srv.Serve(node.Runtime); err != nil {
+		panic(err)
+	}
+	b := &Backend{Node: node, Srv: srv}
+	cl.Backends = append(cl.Backends, b)
+	cl.Ring.Add(len(cl.Backends) - 1)
+	return b
+}
+
+// AddLoadGenerator boots an extra native node that serves nothing - a
+// client machine for driving load at the shards directly, as the
+// paper's mutilate host does. It is not added to the ring.
+func (cl *Cluster) AddLoadGenerator(cores int) *hosted.Node {
+	return cl.Sys.AddNativeNode(cores)
+}
+
+// Route returns the backend owning key.
+func (cl *Cluster) Route(key []byte) *Backend {
+	return cl.Backends[cl.Ring.Lookup(key)]
+}
+
+// TotalRequests sums operations served across all shards.
+func (cl *Cluster) TotalRequests() uint64 {
+	var n uint64
+	for _, b := range cl.Backends {
+		n += b.Srv.Requests
+	}
+	return n
+}

@@ -1,0 +1,122 @@
+// Package cluster implements the multi-backend memcached deployment of
+// the paper's §3 heterogeneous model: a hosted frontend plus N native
+// library-OS backends sharing one Ebb namespace, with the keyspace
+// sharded across backends by consistent hashing. The frontend (or any
+// node) reaches the shards through a cluster-aware client Ebb whose
+// per-core representatives each own their own connection pools - the
+// same no-shared-state-across-cores discipline the single-node server
+// follows.
+package cluster
+
+import (
+	"encoding/binary"
+	"sort"
+)
+
+// Ring is a consistent-hash ring over backend indices. Each backend
+// contributes VNodes virtual points; a key is served by the backend
+// owning the first point at or after the key's hash (wrapping). The
+// placement is a pure function of the backend set, so every node of the
+// deployment - and every rebuild of the same deployment - computes an
+// identical routing table without coordination.
+type Ring struct {
+	vnodes int
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash    uint64
+	backend int
+}
+
+// DefaultVNodes balances shard evenness against lookup-table size; 128
+// points per backend keeps the max/min key share within ~30% for the
+// backend counts the scaling experiment sweeps.
+const DefaultVNodes = 128
+
+// NewRing creates an empty ring with the given virtual nodes per
+// backend (0 selects DefaultVNodes).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	return &Ring{vnodes: vnodes}
+}
+
+// ringHash is FNV-1a (stable across processes, unlike maphash) with a
+// splitmix64-style finalizer. The finalizer matters: raw FNV-1a moves a
+// key by less than one ring segment when only its trailing bytes change,
+// which would pin whole families of sequentially-named keys ("key-1",
+// "key-2", ...) to a single backend.
+func ringHash(b []byte) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime
+	}
+	return mix64(h)
+}
+
+// mix64 is the splitmix64 finalizer: full-avalanche bit mixing.
+func mix64(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// vnodeHash positions one virtual point for (backend, replica).
+func vnodeHash(backend, replica int) uint64 {
+	var buf [16]byte
+	binary.BigEndian.PutUint64(buf[0:8], uint64(backend))
+	binary.BigEndian.PutUint64(buf[8:16], uint64(replica))
+	return ringHash(buf[:])
+}
+
+// Add inserts a backend's virtual points. Adding backend b moves only
+// the keys that land on b's new points - roughly a 1/(n+1) share -
+// which is the consistent-hashing migration bound the tests assert.
+func (r *Ring) Add(backend int) {
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, ringPoint{hash: vnodeHash(backend, i), backend: backend})
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].backend < r.points[j].backend
+	})
+}
+
+// Remove deletes a backend's points; its keys redistribute to the ring
+// successors.
+func (r *Ring) Remove(backend int) {
+	keep := r.points[:0]
+	for _, p := range r.points {
+		if p.backend != backend {
+			keep = append(keep, p)
+		}
+	}
+	r.points = keep
+}
+
+// Size reports the number of virtual points currently placed.
+func (r *Ring) Size() int { return len(r.points) }
+
+// Lookup routes a key to a backend index. It panics on an empty ring -
+// routing before any backend exists is a deployment bug, not a
+// recoverable condition.
+func (r *Ring) Lookup(key []byte) int {
+	if len(r.points) == 0 {
+		panic("cluster: lookup on empty ring")
+	}
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap
+	}
+	return r.points[i].backend
+}

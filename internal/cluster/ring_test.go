@@ -1,0 +1,137 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// sampleKeys generates a deterministic key population for ring tests.
+func sampleKeys(n int) [][]byte {
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key-%d-%d", i, i*2654435761))
+	}
+	return keys
+}
+
+func TestRingDeterministicPlacement(t *testing.T) {
+	// Two independently built rings over the same backend set must route
+	// every key identically - placement is a pure function of the set.
+	build := func() *Ring {
+		r := NewRing(0)
+		for b := 0; b < 5; b++ {
+			r.Add(b)
+		}
+		return r
+	}
+	a, b := build(), build()
+	for _, key := range sampleKeys(5000) {
+		if a.Lookup(key) != b.Lookup(key) {
+			t.Fatalf("rings disagree on %q: %d vs %d", key, a.Lookup(key), b.Lookup(key))
+		}
+	}
+}
+
+func TestRingAdditionOrderIrrelevant(t *testing.T) {
+	fwd, rev := NewRing(0), NewRing(0)
+	for b := 0; b < 4; b++ {
+		fwd.Add(b)
+	}
+	for b := 3; b >= 0; b-- {
+		rev.Add(b)
+	}
+	for _, key := range sampleKeys(2000) {
+		if fwd.Lookup(key) != rev.Lookup(key) {
+			t.Fatalf("insertion order changed placement of %q", key)
+		}
+	}
+}
+
+func TestRingDistributionBalanced(t *testing.T) {
+	const backends = 4
+	r := NewRing(0)
+	for b := 0; b < backends; b++ {
+		r.Add(b)
+	}
+	counts := make([]int, backends)
+	keys := sampleKeys(20000)
+	for _, key := range keys {
+		counts[r.Lookup(key)]++
+	}
+	ideal := len(keys) / backends
+	for b, n := range counts {
+		if n < ideal/2 || n > 2*ideal {
+			t.Errorf("backend %d owns %d of %d keys (ideal %d) - ring badly unbalanced: %v",
+				b, n, len(keys), ideal, counts)
+		}
+	}
+}
+
+func TestRingMigrationBounded(t *testing.T) {
+	// Adding one backend to an n-backend ring must move only keys the new
+	// backend now owns - about 1/(n+1) of the keyspace, and far less than
+	// the wholesale reshuffle of modulo hashing.
+	for _, n := range []int{1, 2, 4, 8} {
+		r := NewRing(0)
+		for b := 0; b < n; b++ {
+			r.Add(b)
+		}
+		keys := sampleKeys(20000)
+		before := make([]int, len(keys))
+		for i, key := range keys {
+			before[i] = r.Lookup(key)
+		}
+		r.Add(n)
+		moved := 0
+		for i, key := range keys {
+			after := r.Lookup(key)
+			if after != before[i] {
+				if after != n {
+					t.Fatalf("n=%d: key %q moved between old backends (%d -> %d)", n, key, before[i], after)
+				}
+				moved++
+			}
+		}
+		ideal := float64(len(keys)) / float64(n+1)
+		if float64(moved) > 2*ideal {
+			t.Errorf("n=%d: %d keys moved, more than 2x the ideal %.0f", n, moved, ideal)
+		}
+		if moved == 0 {
+			t.Errorf("n=%d: new backend received no keys", n)
+		}
+	}
+}
+
+func TestRingRemoveRedistributes(t *testing.T) {
+	r := NewRing(0)
+	for b := 0; b < 3; b++ {
+		r.Add(b)
+	}
+	keys := sampleKeys(5000)
+	before := make([]int, len(keys))
+	for i, key := range keys {
+		before[i] = r.Lookup(key)
+	}
+	r.Remove(1)
+	if r.Size() != 2*r.vnodes {
+		t.Fatalf("ring size %d after removal, want %d", r.Size(), 2*r.vnodes)
+	}
+	for i, key := range keys {
+		after := r.Lookup(key)
+		if after == 1 {
+			t.Fatalf("key %q still routes to removed backend", key)
+		}
+		if before[i] != 1 && after != before[i] {
+			t.Fatalf("key %q on surviving backend %d moved to %d", key, before[i], after)
+		}
+	}
+}
+
+func TestRingEmptyLookupPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("lookup on empty ring did not panic")
+		}
+	}()
+	NewRing(0).Lookup([]byte("k"))
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ebbrt/internal/apps/appnet"
+	"ebbrt/internal/apps/memcached"
+	"ebbrt/internal/cluster"
+	"ebbrt/internal/event"
+	"ebbrt/internal/load"
+	"ebbrt/internal/sim"
+)
+
+// ScalingOptions tunes the cluster-scaling sweep. The zero value is the
+// experiment's default configuration.
+type ScalingOptions struct {
+	// CoresPerBackend sizes each native backend (default 1).
+	CoresPerBackend int
+	// ConnsPerBackend sizes the per-backend connection pool (default 8).
+	ConnsPerBackend int
+	// Duration is the measured window per point (default 150 ms).
+	Duration sim.Time
+}
+
+// ScalingRow is one point of the cluster-scaling curve.
+type ScalingRow struct {
+	Backends int
+	// OfferedRPS is the aggregate open-loop arrival rate for this point
+	// (perBackendRPS x Backends).
+	OfferedRPS float64
+	Result     load.MutilateResult
+}
+
+// ClusterScaling sweeps backend counts under the ETC workload, offering
+// perBackendRPS per backend, and reports aggregate achieved throughput -
+// the multi-backend extension of the paper's Figure 5 methodology: the
+// keyspace shards across native nodes by consistent hashing and the load
+// generator (a separate machine on the same switch, like the paper's
+// mutilate host) drives each shard over its own connection pool.
+func ClusterScaling(backendCounts []int, perBackendRPS float64, opt ScalingOptions) []ScalingRow {
+	if opt.CoresPerBackend <= 0 {
+		opt.CoresPerBackend = 1
+	}
+	if opt.ConnsPerBackend <= 0 {
+		opt.ConnsPerBackend = 8
+	}
+	if opt.Duration <= 0 {
+		opt.Duration = 150 * sim.Millisecond
+	}
+	var rows []ScalingRow
+	for _, n := range backendCounts {
+		rows = append(rows, scalingPoint(n, perBackendRPS, opt))
+	}
+	return rows
+}
+
+func scalingPoint(backends int, perBackendRPS float64, opt ScalingOptions) ScalingRow {
+	cl := cluster.New(backends, opt.CoresPerBackend)
+	// The load generator must never be the bottleneck: give it more
+	// cores than the backends have in total.
+	genCores := 2*backends*opt.CoresPerBackend + 2
+	gen := cl.AddLoadGenerator(genCores)
+
+	shards := make([]load.Shard, backends)
+	for i, b := range cl.Backends {
+		ip := b.Node.IP()
+		shards[i] = load.Shard{
+			Srv: b.Srv,
+			Dial: func(c *event.Ctx, cb appnet.Callbacks, onConnect func(*event.Ctx, appnet.Conn)) {
+				gen.Runtime.Dial(c, ip, memcached.Port, cb, onConnect)
+			},
+		}
+	}
+
+	cfg := load.DefaultMutilate(perBackendRPS * float64(backends))
+	cfg.Connections = opt.ConnsPerBackend
+	cfg.Duration = opt.Duration
+	res := load.RunMutilateSharded(gen.Runtime, shards, cl.Ring.Lookup, cfg)
+	return ScalingRow{Backends: backends, OfferedRPS: cfg.TargetRPS, Result: res}
+}
+
+// FormatScaling renders the scaling curve with per-row speedup over the
+// first row.
+func FormatScaling(rows []ScalingRow) string {
+	out := fmt.Sprintf("%-9s %12s %12s %10s %10s %8s\n",
+		"Backends", "Offered", "Achieved", "Mean", "p99", "Speedup")
+	if len(rows) == 0 {
+		return out
+	}
+	base := rows[0].Result.AchievedRPS
+	for _, r := range rows {
+		speedup := 0.0
+		if base > 0 {
+			speedup = r.Result.AchievedRPS / base
+		}
+		out += fmt.Sprintf("%-9d %12.0f %12.0f %8.1fus %8.1fus %7.2fx\n",
+			r.Backends, r.OfferedRPS, r.Result.AchievedRPS,
+			r.Result.Mean.Micros(), r.Result.P99.Micros(), speedup)
+	}
+	return out
+}

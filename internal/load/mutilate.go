@@ -150,51 +150,96 @@ type mconn struct {
 	connected   bool
 }
 
+// Dial connects one client connection to a target (injected to avoid
+// coupling the load generator to the testbed or cluster packages).
+type Dial func(c *event.Ctx, cb appnet.Callbacks, onConnect func(*event.Ctx, appnet.Conn))
+
+// Shard is one sharded-workload target: how to reach it and the server
+// whose store should be prepopulated with the shard's keys.
+type Shard struct {
+	Dial Dial
+	Srv  *memcached.Server
+}
+
 // mutilate is the running load generator.
 type mutilate struct {
 	cfg       MutilateConfig
 	work      *Workload
 	client    appnet.Runtime
-	conns     []*mconn
+	shards    [][]*mconn // per shard, its connection pool
+	route     []int      // key index -> shard
+	rrNext    []int      // per-shard round-robin cursor
 	rec       *sim.Recorder
 	completed uint64
 	measStart sim.Time
 	measEnd   sim.Time
 	arrRng    *sim.Rng
-	rrNext    int
 }
 
-// RunMutilate drives one load point against a memcached server already
-// listening on the server runtime. dial connects one connection (injected
-// to avoid coupling to the testbed package).
-func RunMutilate(client appnet.Runtime, dial func(c *event.Ctx, cb appnet.Callbacks, onConnect func(*event.Ctx, appnet.Conn)), srv *memcached.Server, cfg MutilateConfig) MutilateResult {
-	work := NewWorkload(cfg.ETC, cfg.Seed)
-	srv.Prepopulate(work.Keys, work.Values)
+// RunMutilate drives one load point against a single memcached server
+// already listening on the server runtime.
+func RunMutilate(client appnet.Runtime, dial Dial, srv *memcached.Server, cfg MutilateConfig) MutilateResult {
+	return RunMutilateSharded(client, []Shard{{Dial: dial, Srv: srv}}, nil, cfg)
+}
 
+// RunMutilateSharded drives one load point against a sharded cluster:
+// each sampled key routes (via route, over the pre-generated key set) to
+// one shard, which receives it on that shard's private connection pool.
+// cfg.Connections is the pool size per shard, so client-side parallelism
+// scales with the backend count as it does when mutilate agents are
+// added per server. route may be nil when there is exactly one shard.
+// Each shard's store is prepopulated with only the keys it owns.
+func RunMutilateSharded(client appnet.Runtime, shards []Shard, route func(key []byte) int, cfg MutilateConfig) MutilateResult {
+	work := NewWorkload(cfg.ETC, cfg.Seed)
 	m := &mutilate{
 		cfg:    cfg,
 		work:   work,
 		client: client,
+		route:  make([]int, len(work.Keys)),
+		rrNext: make([]int, len(shards)),
 		rec:    sim.NewRecorder(int(cfg.TargetRPS * float64(cfg.Duration) / 1e9)),
 		arrRng: sim.NewRng(cfg.Seed ^ 0x9e3779b9),
 	}
+	// Route the keyspace once, prepopulating each shard with its share.
+	perShard := make([][][]byte, len(shards))
+	perShardVals := make([][][]byte, len(shards))
+	for i, key := range work.Keys {
+		s := 0
+		if route != nil {
+			s = route(key)
+		}
+		m.route[i] = s
+		perShard[s] = append(perShard[s], key)
+		perShardVals[s] = append(perShardVals[s], work.Values[i])
+	}
+	for s, sh := range shards {
+		sh.Srv.Prepopulate(perShard[s], perShardVals[s])
+	}
+
 	k := client.Kernel()
 	mgrs := client.Mgrs()
 
-	// Open connections round-robin across client cores.
-	for i := 0; i < cfg.Connections; i++ {
-		mc := &mconn{m: m, mgr: mgrs[i%len(mgrs)], inflight: map[uint32]sim.Time{}}
-		m.conns = append(m.conns, mc)
-		mc.mgr.Spawn(func(c *event.Ctx) {
-			dial(c, appnet.Callbacks{
-				OnData: func(c *event.Ctx, conn appnet.Conn, payload *iobuf.IOBuf) {
-					mc.onData(c, payload)
-				},
-			}, func(c *event.Ctx, conn appnet.Conn) {
-				mc.conn = conn
-				mc.connected = true
+	// Open each shard's pool, spreading connections round-robin across
+	// client cores.
+	m.shards = make([][]*mconn, len(shards))
+	nextCore := 0
+	for s, sh := range shards {
+		dial := sh.Dial
+		for i := 0; i < cfg.Connections; i++ {
+			mc := &mconn{m: m, mgr: mgrs[nextCore%len(mgrs)], inflight: map[uint32]sim.Time{}}
+			nextCore++
+			m.shards[s] = append(m.shards[s], mc)
+			mc.mgr.Spawn(func(c *event.Ctx) {
+				dial(c, appnet.Callbacks{
+					OnData: func(c *event.Ctx, conn appnet.Conn, payload *iobuf.IOBuf) {
+						mc.onData(c, payload)
+					},
+				}, func(c *event.Ctx, conn appnet.Conn) {
+					mc.conn = conn
+					mc.connected = true
+				})
 			})
-		})
+		}
 	}
 
 	// Let handshakes finish, then start the arrival process.
@@ -215,7 +260,9 @@ func RunMutilate(client appnet.Runtime, dial func(c *event.Ctx, cb appnet.Callba
 	return res
 }
 
-// scheduleNextArrival generates the open-loop Poisson arrivals.
+// scheduleNextArrival generates the open-loop Poisson arrivals. Each
+// arrival routes to its key's shard and round-robins within that
+// shard's pool.
 func (m *mutilate) scheduleNextArrival(k *sim.Kernel) {
 	gap := m.arrRng.Exp(1e9 / m.cfg.TargetRPS) // ns between arrivals
 	k.After(sim.Time(gap), func() {
@@ -223,8 +270,9 @@ func (m *mutilate) scheduleNextArrival(k *sim.Kernel) {
 			return
 		}
 		keyIdx, isGet := m.work.NextOp()
-		mc := m.conns[m.rrNext%len(m.conns)]
-		m.rrNext++
+		pool := m.shards[m.route[keyIdx]]
+		mc := pool[m.rrNext[m.route[keyIdx]]%len(pool)]
+		m.rrNext[m.route[keyIdx]]++
 		req := pendingReq{arrival: k.Now(), keyIdx: keyIdx, isGet: isGet}
 		mc.mgr.Spawn(func(c *event.Ctx) { mc.submit(c, req) })
 		m.scheduleNextArrival(k)
@@ -268,19 +316,20 @@ func (mc *mconn) onData(c *event.Ctx, payload *iobuf.IOBuf) {
 	}
 	consumed := 0
 	for {
-		rest := data[consumed:]
-		if len(rest) < memcached.HeaderLen {
-			break
-		}
-		hdr, err := memcached.ParseHeader(rest)
+		hdr, _, n, err := memcached.NextFrame(data[consumed:], memcached.MagicResponse)
 		if err != nil {
+			// Desynced response stream: retire the connection (its
+			// in-flight requests are lost; the run continues on the
+			// remaining pool).
+			mc.rx = nil
+			mc.connected = false
+			mc.conn.Close(c)
+			return
+		}
+		if n == 0 {
 			break
 		}
-		total := memcached.HeaderLen + int(hdr.BodyLen)
-		if len(rest) < total {
-			break
-		}
-		consumed += total
+		consumed += n
 		arrival, ok := mc.inflight[hdr.Opaque]
 		if !ok {
 			continue
