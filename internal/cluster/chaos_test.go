@@ -1,0 +1,217 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"ebbrt/internal/event"
+	"ebbrt/internal/sim"
+)
+
+// chaosStep is one scheduled fault.
+type chaosStep struct {
+	at      sim.Time
+	backend int
+	revive  bool // false = kill, true = revive
+}
+
+// TestChaosSchedules drives client load while killing and reviving
+// backends on a deterministic schedule, asserting the three fault-
+// tolerance invariants: no false misses (a get for a durably written
+// key never reports KeyNotFound), quorum-write durability (every set
+// acked OK during the chaos is readable afterwards), and ring
+// convergence (the ring's membership matches the surviving backends
+// once the health monitor has caught up).
+func TestChaosSchedules(t *testing.T) {
+	cases := []struct {
+		name     string
+		backends int
+		replicas int
+		steps    []chaosStep
+		// wantZeroSetFails asserts no write ever failed quorum - holds
+		// when a majority of every replica set stays alive throughout.
+		wantZeroSetFails bool
+	}{
+		{
+			name:     "kill-one-R2",
+			backends: 4,
+			replicas: 2,
+			steps:    []chaosStep{{at: 40 * sim.Millisecond, backend: 1}},
+		},
+		{
+			name:     "kill-revive-R2",
+			backends: 4,
+			replicas: 2,
+			steps: []chaosStep{
+				{at: 40 * sim.Millisecond, backend: 2},
+				{at: 110 * sim.Millisecond, backend: 2, revive: true},
+			},
+		},
+		{
+			name:     "kill-one-R3-writes-never-fail",
+			backends: 5,
+			replicas: 3,
+			steps:    []chaosStep{{at: 40 * sim.Millisecond, backend: 0}},
+			// R=3 quorum is 2: one dead replica never blocks a write.
+			wantZeroSetFails: true,
+		},
+		{
+			name:     "sequential-kills-R3",
+			backends: 5,
+			replicas: 3,
+			steps: []chaosStep{
+				{at: 40 * sim.Millisecond, backend: 1},
+				{at: 100 * sim.Millisecond, backend: 4},
+			},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) { runChaos(t, tc.backends, tc.replicas, tc.steps, tc.wantZeroSetFails) })
+	}
+}
+
+func runChaos(t *testing.T, backends, replicas int, steps []chaosStep, wantZeroSetFails bool) {
+	cl := NewCluster(backends, Options{Replicas: replicas})
+	front := cl.Sys.Frontend()
+	cli := NewClientWithOptions(cl, front, ClientOptions{RequestTimeout: 8 * sim.Millisecond})
+	mon := NewHealthMonitor(cl, front, HealthConfig{})
+	mon.Start()
+	k := cl.Sys.K
+	mgr := front.Runtime.Mgrs()[0]
+
+	// Phase 1: populate a durable key set through quorum writes.
+	const nKeys = 150
+	keys := make([][]byte, nKeys)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("chaos-key-%d", i))
+	}
+	acked := 0
+	front.Spawn(func(c *event.Ctx) {
+		for i, key := range keys {
+			cli.Set(c, key, []byte(fmt.Sprintf("v0-%d", i)), 0, func(c *event.Ctx, r Response) {
+				if r.OK() {
+					acked++
+				}
+			})
+		}
+	})
+	k.RunUntil(20 * sim.Millisecond)
+	if acked != nKeys {
+		t.Fatalf("populate: %d of %d quorum writes acked", acked, nKeys)
+	}
+
+	// Phase 2: continuous mixed load across the fault schedule. Gets hit
+	// the durable population (any miss is a false miss); sets write
+	// fresh keys whose acks feed the durability check.
+	endLoad := 160 * sim.Millisecond
+	var falseMisses, getNetErrs, setFails int
+	durable := map[string][]byte{}
+	seq := 0
+	var pump func(c *event.Ctx)
+	pump = func(c *event.Ctx) {
+		if c.Now() >= endLoad {
+			return
+		}
+		seq++
+		key := keys[seq%nKeys]
+		cli.Get(c, key, func(c *event.Ctx, r Response) {
+			switch {
+			case r.OK():
+			case r.NetworkError():
+				getNetErrs++
+			default:
+				falseMisses++
+			}
+		})
+		if seq%10 == 0 {
+			wkey := []byte(fmt.Sprintf("chaos-new-%d", seq))
+			wval := []byte(fmt.Sprintf("nv-%d", seq))
+			cli.Set(c, wkey, wval, 0, func(c *event.Ctx, r Response) {
+				if r.OK() {
+					durable[string(wkey)] = wval
+				} else {
+					setFails++
+				}
+			})
+		}
+		mgr.After(200*sim.Microsecond, pump)
+	}
+	mgr.Spawn(pump)
+
+	// Schedule the faults.
+	for _, s := range steps {
+		s := s
+		k.At(s.at, func() {
+			if s.revive {
+				cl.Backends[s.backend].Node.Revive()
+			} else {
+				cl.Backends[s.backend].Node.Kill()
+			}
+		})
+	}
+
+	// Run through the load window plus settle time for the monitor to
+	// converge (detection ~15ms: three missed 5ms beats; restoration
+	// ~10-15ms: fresh-connection probes answered for two beats).
+	k.RunUntil(endLoad + 60*sim.Millisecond)
+
+	if falseMisses != 0 {
+		t.Errorf("%d false misses during chaos (gets of durable keys reported KeyNotFound)", falseMisses)
+	}
+	if wantZeroSetFails && setFails != 0 {
+		t.Errorf("%d quorum writes failed despite a live majority in every replica set", setFails)
+	}
+
+	// Ring convergence: membership must match the backends that are
+	// alive now (killed-and-revived backends restored, dead ones out).
+	alive := map[int]bool{}
+	for i, b := range cl.Backends {
+		alive[i] = b.Node.Alive()
+	}
+	members := map[int]bool{}
+	for _, m := range cl.Ring.Members() {
+		members[m] = true
+	}
+	for i := range cl.Backends {
+		if alive[i] != members[i] {
+			t.Errorf("ring did not converge: backend %d alive=%v on-ring=%v", i, alive[i], members[i])
+		}
+		if alive[i] != cl.Live(i) {
+			t.Errorf("Live(%d)=%v disagrees with node state %v", i, cl.Live(i), alive[i])
+		}
+	}
+
+	// Phase 3: durability. Every key acked at quorum - the original
+	// population and everything acked mid-chaos - must still be served.
+	verified, misses, netErrs := 0, 0, 0
+	front.Spawn(func(c *event.Ctx) {
+		check := func(key []byte) {
+			cli.Get(c, key, func(c *event.Ctx, r Response) {
+				switch {
+				case r.OK():
+					verified++
+				case r.NetworkError():
+					netErrs++
+				default:
+					misses++
+				}
+			})
+		}
+		for _, key := range keys {
+			check(key)
+		}
+		for key := range durable {
+			check([]byte(key))
+		}
+	})
+	k.RunUntil(k.Now() + 40*sim.Millisecond)
+	want := nKeys + len(durable)
+	if verified != want || misses != 0 || netErrs != 0 {
+		t.Errorf("durability: %d/%d keys verified, %d misses, %d network errors",
+			verified, want, misses, netErrs)
+	}
+	if len(durable) == 0 {
+		t.Error("no writes acked during chaos - durability check vacuous")
+	}
+}

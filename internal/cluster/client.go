@@ -9,7 +9,16 @@ import (
 	"ebbrt/internal/event"
 	"ebbrt/internal/hosted"
 	"ebbrt/internal/iobuf"
+	"ebbrt/internal/sim"
 )
+
+// StatusNetworkError is the client-synthesized status reporting that an
+// operation could not be completed because the connection failed, the
+// request timed out, or a write could not reach its quorum. It lives
+// outside the server's status space: a network failure is not a cache
+// miss, and conflating the two (as the client once did) turns every
+// backend crash into a burst of false misses instead of failovers.
+const StatusNetworkError uint16 = 0xff00
 
 // Response is the outcome of one cluster operation.
 type Response struct {
@@ -21,35 +30,83 @@ type Response struct {
 // OK reports protocol success.
 func (r Response) OK() bool { return r.Status == memcached.StatusOK }
 
+// NetworkError reports that the operation failed in the network or at a
+// quorum, not at the store; the caller may retry.
+func (r Response) NetworkError() bool { return r.Status == StatusNetworkError }
+
 // Callback receives an operation's response on the submitting core.
 type Callback func(c *event.Ctx, r Response)
 
 // DefaultPoolSize is the per-core, per-backend connection count.
 const DefaultPoolSize = 2
 
+// ClientOptions tunes the client Ebb beyond the defaults.
+type ClientOptions struct {
+	// PoolSize is the per-core, per-backend connection count (default
+	// DefaultPoolSize).
+	PoolSize int
+	// RequestTimeout bounds one replica operation; on expiry the
+	// operation fails with StatusNetworkError and, for reads, fails over
+	// to the next replica. Zero disables timeouts: operations then fail
+	// only on connection teardown or ring eviction. Keep it well above
+	// the netstack RTO when frame loss (rather than node death) is
+	// expected, or retransmitted requests will be reported dead.
+	RequestTimeout sim.Time
+	// NoReadRepair disables the asynchronous re-set of a key onto
+	// replicas that missed it when a later replica served the read.
+	NoReadRepair bool
+}
+
 // Client is the cluster-aware memcached client Ebb. Its id lives in the
 // deployment-wide namespace (allocated by the frontend); each core that
 // touches it faults in its own representative holding private
 // connection pools to every backend, so request submission never
 // crosses cores - the Ebb pattern of paper §3.1 applied client-side.
+//
+// Under replication (Cluster.Replicas > 1) the client is where fault
+// tolerance lives: writes fan out to every replica and ack on a
+// majority quorum; reads try the primary and fail over along the
+// replica set on network error or miss. When the cluster evicts a dead
+// backend, every representative aborts its pooled connections to it so
+// in-flight operations fail over immediately instead of waiting out TCP
+// retransmission.
 type Client struct {
-	cl       *Cluster
-	node     *hosted.Node
-	ref      core.Ref[clientRep]
-	poolSize int
+	cl   *Cluster
+	node *hosted.Node
+	ref  core.Ref[clientRep]
+	opt  ClientOptions
 }
 
 // NewClient installs a client Ebb for the cluster on the given node
 // (typically the hosted frontend). poolSize <= 0 selects
 // DefaultPoolSize connections per core per backend.
 func NewClient(cl *Cluster, node *hosted.Node, poolSize int) *Client {
-	if poolSize <= 0 {
-		poolSize = DefaultPoolSize
+	return NewClientWithOptions(cl, node, ClientOptions{PoolSize: poolSize})
+}
+
+// NewClientWithOptions installs a client Ebb with explicit options.
+func NewClientWithOptions(cl *Cluster, node *hosted.Node, opt ClientOptions) *Client {
+	if opt.PoolSize <= 0 {
+		opt.PoolSize = DefaultPoolSize
 	}
-	cli := &Client{cl: cl, node: node, poolSize: poolSize}
+	cli := &Client{cl: cl, node: node, opt: opt}
 	id := cl.Sys.AllocateEbbId()
+	mgrs := node.Runtime.Mgrs()
 	cli.ref = core.Attach(node.Domain, id, func(corei int) *clientRep {
-		return &clientRep{cli: cli, pools: map[int]*backendPool{}}
+		return &clientRep{cli: cli, mgr: mgrs[corei], pools: map[int]*backendPool{}}
+	})
+	cl.Watch(func(backend int, up bool) {
+		if up {
+			return // pools to a restored backend re-dial lazily
+		}
+		for corei := range mgrs {
+			corei := corei
+			mgrs[corei].Spawn(func(c *event.Ctx) {
+				if rep, ok := cli.ref.GetIfPresent(corei); ok {
+					rep.dropBackend(c, backend)
+				}
+			})
+		}
 	})
 	return cli
 }
@@ -57,34 +114,140 @@ func NewClient(cl *Cluster, node *hosted.Node, poolSize int) *Client {
 // Id returns the Ebb id the client occupies in the shared namespace.
 func (cli *Client) Id() core.Id { return cli.ref.Id() }
 
-// Get fetches key from its shard.
+// Get fetches key, trying each replica in successor order: network
+// errors and genuine misses both fall through to the next replica, so a
+// key served by any live replica is found. When a later replica serves
+// the read, replicas that missed it are repaired asynchronously.
 func (cli *Client) Get(c *event.Ctx, key []byte, cb Callback) {
-	cli.rep(c).submit(c, cli.route(key), func(opaque uint32) []byte {
+	cli.getFrom(c, key, cli.cl.ReplicaSet(key), 0, nil, cb)
+}
+
+func (cli *Client) getFrom(c *event.Ctx, key []byte, reps []int, i int, missed []int, cb Callback) {
+	cli.rep(c).submit(c, reps[i], func(opaque uint32) []byte {
 		return memcached.BuildGet(key, opaque)
-	}, cb)
+	}, func(c *event.Ctx, r Response) {
+		switch {
+		case r.OK():
+			if len(missed) > 0 && !cli.opt.NoReadRepair {
+				cli.readRepair(c, key, missed, r)
+			}
+			if cb != nil {
+				cb(c, r)
+			}
+		case i+1 < len(reps):
+			if r.Status == memcached.StatusKeyNotFound {
+				missed = append(missed, reps[i])
+			}
+			cli.getFrom(c, key, reps, i+1, missed, cb)
+		default:
+			if cb != nil {
+				cb(c, r)
+			}
+		}
+	})
 }
 
-// Set stores key=value on its shard.
+// readRepair re-sets the value onto replicas that reported a miss while
+// a successor held the key (a restored backend catching up, or a
+// replica that lost a racing write). Fire-and-forget: repair is an
+// optimization, not a durability mechanism.
+func (cli *Client) readRepair(c *event.Ctx, key []byte, missed []int, r Response) {
+	value := append([]byte(nil), r.Value...)
+	for _, backend := range missed {
+		cli.rep(c).submit(c, backend, func(opaque uint32) []byte {
+			return memcached.BuildSet(key, value, r.Flags, opaque)
+		}, nil)
+	}
+}
+
+// Set stores key=value on every replica and invokes cb once the write
+// quorum (a majority of the replica set) has acknowledged. A write that
+// cannot reach quorum reports StatusNetworkError; it may still have
+// landed on a minority of replicas - the usual leaderless-write
+// semantics, converged by read repair.
 func (cli *Client) Set(c *event.Ctx, key, value []byte, flags uint32, cb Callback) {
-	cli.rep(c).submit(c, cli.route(key), func(opaque uint32) []byte {
-		return memcached.BuildSet(key, value, flags, opaque)
-	}, cb)
+	reps := cli.cl.ReplicaSet(key)
+	q := newQuorumCall(len(reps), cb)
+	for _, backend := range reps {
+		cli.rep(c).submit(c, backend, func(opaque uint32) []byte {
+			return memcached.BuildSet(key, value, flags, opaque)
+		}, func(c *event.Ctx, r Response) {
+			q.add(c, r, r.OK())
+		})
+	}
 }
 
-// Delete removes key from its shard.
+// Delete removes key from every replica, acking on quorum. A replica
+// that never held the key counts as acknowledged - absence is the state
+// the operation establishes.
 func (cli *Client) Delete(c *event.Ctx, key []byte, cb Callback) {
-	cli.rep(c).submit(c, cli.route(key), func(opaque uint32) []byte {
-		return memcached.BuildDelete(key, opaque)
-	}, cb)
+	reps := cli.cl.ReplicaSet(key)
+	q := newQuorumCall(len(reps), cb)
+	for _, backend := range reps {
+		cli.rep(c).submit(c, backend, func(opaque uint32) []byte {
+			return memcached.BuildDelete(key, opaque)
+		}, func(c *event.Ctx, r Response) {
+			q.add(c, r, r.OK() || r.Status == memcached.StatusKeyNotFound)
+		})
+	}
 }
 
 func (cli *Client) rep(c *event.Ctx) *clientRep { return cli.ref.Get(c.Core().ID) }
 
-func (cli *Client) route(key []byte) int { return cli.cl.Ring.Lookup(key) }
+// quorumCall aggregates one write's per-replica acknowledgments into a
+// single callback: success at a majority of the replica set, failure as
+// soon as a majority can no longer be reached. Late responses after the
+// verdict are ignored.
+type quorumCall struct {
+	need  int
+	total int
+	acks  int
+	fails int
+	done  bool
+	first Response // first acknowledged response, reported on success
+	sawOK bool
+	cb    Callback
+}
+
+func newQuorumCall(total int, cb Callback) *quorumCall {
+	return &quorumCall{need: total/2 + 1, total: total, cb: cb}
+}
+
+func (q *quorumCall) add(c *event.Ctx, r Response, ack bool) {
+	if q.done {
+		return
+	}
+	if ack {
+		if q.acks == 0 {
+			q.first = r
+		}
+		if r.OK() {
+			q.sawOK = true
+			q.first = r
+		}
+		q.acks++
+	} else {
+		q.fails++
+	}
+	if q.acks >= q.need {
+		q.done = true
+		if q.cb != nil {
+			q.cb(c, q.first)
+		}
+		return
+	}
+	if q.fails > q.total-q.need {
+		q.done = true
+		if q.cb != nil {
+			q.cb(c, Response{Status: StatusNetworkError})
+		}
+	}
+}
 
 // clientRep is one core's representative: private pools, no locks.
 type clientRep struct {
 	cli   *Client
+	mgr   *event.Manager
 	pools map[int]*backendPool
 }
 
@@ -96,6 +259,16 @@ type backendPool struct {
 
 // submit routes one request onto a pooled connection.
 func (r *clientRep) submit(c *event.Ctx, backend int, build func(opaque uint32) []byte, cb Callback) {
+	if !r.cli.cl.Live(backend) {
+		// The backend was evicted after this operation's replica set was
+		// computed. Fail fast so the caller's failover moves on, rather
+		// than re-dialing a dead node (which, with timeouts disabled,
+		// would park the operation behind minutes of SYN backoff).
+		if cb != nil {
+			cb(c, Response{Status: StatusNetworkError})
+		}
+		return
+	}
 	pool, ok := r.pools[backend]
 	if !ok {
 		pool = &backendPool{}
@@ -111,7 +284,7 @@ func (r *clientRep) submit(c *event.Ctx, backend int, build func(opaque uint32) 
 	}
 	pool.conns = live
 	var cc *clientConn
-	if len(pool.conns) < r.cli.poolSize {
+	if len(pool.conns) < r.cli.opt.PoolSize {
 		cc = r.dial(c, backend)
 		pool.conns = append(pool.conns, cc)
 	} else {
@@ -121,9 +294,27 @@ func (r *clientRep) submit(c *event.Ctx, backend int, build func(opaque uint32) 
 	cc.send(c, build, cb)
 }
 
+// dropBackend aborts every pooled connection to an evicted backend,
+// failing its in-flight operations with StatusNetworkError so their
+// callers fail over now rather than after TCP gives up.
+func (r *clientRep) dropBackend(c *event.Ctx, backend int) {
+	pool, ok := r.pools[backend]
+	if !ok {
+		return
+	}
+	delete(r.pools, backend)
+	for _, cc := range pool.conns {
+		cc.abort(c)
+	}
+}
+
 // dial opens one connection to the backend's memcached port.
 func (r *clientRep) dial(c *event.Ctx, backend int) *clientConn {
-	cc := &clientConn{inflight: map[uint32]Callback{}}
+	cc := &clientConn{
+		mgr:      r.mgr,
+		timeout:  r.cli.opt.RequestTimeout,
+		inflight: map[uint32]inflightOp{},
+	}
 	node := r.cli.cl.Backends[backend].Node
 	r.cli.node.Runtime.Dial(c, node.IP(), memcached.Port, appnet.Callbacks{
 		OnData: func(c *event.Ctx, conn appnet.Conn, payload *iobuf.IOBuf) {
@@ -143,14 +334,24 @@ func (r *clientRep) dial(c *event.Ctx, backend int) *clientConn {
 	return cc
 }
 
+// inflightOp is one outstanding request: its completion callback plus
+// the timeout timer that fires it as a network error if no response
+// arrives in time.
+type inflightOp struct {
+	cb    Callback
+	timer *sim.Event
+}
+
 // clientConn multiplexes requests over one TCP connection, matching
 // responses to callbacks by opaque.
 type clientConn struct {
 	conn       appnet.Conn
+	mgr        *event.Manager
+	timeout    sim.Time
 	connected  bool
 	closed     bool
 	pendingTx  [][]byte
-	inflight   map[uint32]Callback
+	inflight   map[uint32]inflightOp
 	nextOpaque uint32
 	rx         []byte
 }
@@ -158,7 +359,20 @@ type clientConn struct {
 func (cc *clientConn) send(c *event.Ctx, build func(opaque uint32) []byte, cb Callback) {
 	opaque := cc.nextOpaque
 	cc.nextOpaque++
-	cc.inflight[opaque] = cb
+	op := inflightOp{cb: cb}
+	if cc.timeout > 0 && cc.mgr != nil {
+		op.timer = cc.mgr.After(cc.timeout, func(c *event.Ctx) {
+			cur, ok := cc.inflight[opaque]
+			if !ok {
+				return
+			}
+			delete(cc.inflight, opaque)
+			if cur.cb != nil {
+				cur.cb(c, Response{Status: StatusNetworkError})
+			}
+		})
+	}
+	cc.inflight[opaque] = op
 	pkt := build(opaque)
 	if !cc.connected {
 		cc.pendingTx = append(cc.pendingTx, pkt)
@@ -167,16 +381,33 @@ func (cc *clientConn) send(c *event.Ctx, build func(opaque uint32) []byte, cb Ca
 	cc.conn.Send(c, iobuf.Wrap(pkt))
 }
 
-// fail reports every outstanding operation as failed and retires the
-// connection from its pool.
+// fail reports every outstanding operation as a network error - NOT a
+// miss: the keys may well exist, the backend is just unreachable - and
+// retires the connection from its pool.
 func (cc *clientConn) fail(c *event.Ctx) {
 	cc.closed = true
 	cc.connected = false
-	for opaque, cb := range cc.inflight {
+	cc.pendingTx = nil
+	for opaque, op := range cc.inflight {
 		delete(cc.inflight, opaque)
-		if cb != nil {
-			cb(c, Response{Status: memcached.StatusKeyNotFound})
+		if op.timer != nil {
+			op.timer.Cancel()
 		}
+		if op.cb != nil {
+			op.cb(c, Response{Status: StatusNetworkError})
+		}
+	}
+}
+
+// abort tears the connection down proactively (ring eviction of its
+// backend), failing outstanding operations immediately.
+func (cc *clientConn) abort(c *event.Ctx) {
+	if cc.closed {
+		return
+	}
+	cc.fail(c)
+	if cc.conn != nil {
+		cc.conn.Close(c)
 	}
 }
 
@@ -205,12 +436,15 @@ func (cc *clientConn) onData(c *event.Ctx, payload *iobuf.IOBuf) {
 			break
 		}
 		consumed += n
-		cb, ok := cc.inflight[hdr.Opaque]
+		op, ok := cc.inflight[hdr.Opaque]
 		if !ok {
-			continue
+			continue // timed out; the caller has already failed over
 		}
 		delete(cc.inflight, hdr.Opaque)
-		if cb == nil {
+		if op.timer != nil {
+			op.timer.Cancel()
+		}
+		if op.cb == nil {
 			continue
 		}
 		resp := Response{Status: hdr.Status}
@@ -220,7 +454,7 @@ func (cc *clientConn) onData(c *event.Ctx, payload *iobuf.IOBuf) {
 		if len(body) > int(hdr.ExtrasLen) {
 			resp.Value = append([]byte(nil), body[hdr.ExtrasLen:]...)
 		}
-		cb(c, resp)
+		op.cb(c, resp)
 	}
 	if consumed < len(data) {
 		cc.rx = append(cc.rx[:0], data[consumed:]...)

@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"fmt"
+
 	"ebbrt/internal/apps/memcached"
 	"ebbrt/internal/hosted"
 )
@@ -11,23 +13,63 @@ type Backend struct {
 	Srv  *memcached.Server
 }
 
+// Options configures a deployment beyond the defaults.
+type Options struct {
+	// CoresPerBackend sizes each native backend (default 1).
+	CoresPerBackend int
+	// Replicas is R, the number of ring successors each key is written
+	// to (default 1: no replication, the pre-fault-tolerance behavior).
+	Replicas int
+	// FrontendCores sizes the hosted frontend (default 2), for
+	// deployments that drive client load through the frontend itself.
+	FrontendCores int
+	// VNodes overrides the ring's virtual points per backend (default
+	// DefaultVNodes).
+	VNodes int
+}
+
 // Cluster is a sharded memcached deployment: the hosted frontend plus N
-// native backends on one switched network, each backend serving an
-// independent shard of the keyspace selected by the Ring.
+// native backends on one switched network, each key served by the R
+// ring successors the Ring selects.
 type Cluster struct {
 	Sys      *hosted.System
 	Backends []*Backend
 	Ring     *Ring
+	// Replicas is the deployment's replication factor R. Writes go to
+	// all R replicas and ack on a majority quorum; reads prefer the
+	// primary and fail over along the successor list.
+	Replicas int
+
+	down     []bool // per backend: evicted from the ring
+	watchers []func(backend int, up bool)
 }
 
 // New boots a deployment with the given number of single-shard native
-// backends, each with coresPerBackend cores. The hosted frontend comes
-// up first (it owns id allocation, as in the single-node system); the
-// backends then join and immediately start serving.
+// backends, each with coresPerBackend cores, and no replication.
 func New(backends, coresPerBackend int) *Cluster {
-	cl := &Cluster{Sys: hosted.NewSystem(), Ring: NewRing(0)}
+	return NewCluster(backends, Options{CoresPerBackend: coresPerBackend})
+}
+
+// NewCluster boots a deployment under the given options. The hosted
+// frontend comes up first (it owns id allocation, as in the single-node
+// system); the backends then join and immediately start serving.
+func NewCluster(backends int, opt Options) *Cluster {
+	if opt.CoresPerBackend <= 0 {
+		opt.CoresPerBackend = 1
+	}
+	if opt.Replicas <= 0 {
+		opt.Replicas = 1
+	}
+	if opt.Replicas > backends {
+		panic(fmt.Sprintf("cluster: %d replicas exceed %d backends", opt.Replicas, backends))
+	}
+	cl := &Cluster{
+		Sys:      hosted.NewSystemCores(opt.FrontendCores),
+		Ring:     NewRing(opt.VNodes),
+		Replicas: opt.Replicas,
+	}
 	for i := 0; i < backends; i++ {
-		cl.AddBackend(coresPerBackend)
+		cl.AddBackend(opt.CoresPerBackend)
 	}
 	return cl
 }
@@ -45,6 +87,7 @@ func (cl *Cluster) AddBackend(cores int) *Backend {
 	}
 	b := &Backend{Node: node, Srv: srv}
 	cl.Backends = append(cl.Backends, b)
+	cl.down = append(cl.down, false)
 	cl.Ring.Add(len(cl.Backends) - 1)
 	return b
 }
@@ -56,9 +99,66 @@ func (cl *Cluster) AddLoadGenerator(cores int) *hosted.Node {
 	return cl.Sys.AddNativeNode(cores)
 }
 
-// Route returns the backend owning key.
+// Watch registers fn to be called whenever a backend's ring membership
+// changes: up=false on eviction, up=true on restoration. Callbacks run
+// synchronously inside EvictBackend/RestoreBackend.
+func (cl *Cluster) Watch(fn func(backend int, up bool)) {
+	cl.watchers = append(cl.watchers, fn)
+}
+
+// EvictBackend removes a backend from the ring, rerouting its keys to
+// their ring successors (which, under replication, already hold them).
+// The backend object and its node stay in place so a recovered machine
+// can be restored. Eviction is idempotent.
+func (cl *Cluster) EvictBackend(i int) {
+	if cl.down[i] {
+		return
+	}
+	cl.down[i] = true
+	cl.Ring.Remove(i)
+	for _, fn := range cl.watchers {
+		fn(i, false)
+	}
+}
+
+// RestoreBackend re-adds an evicted backend to the ring. Its store
+// resumes serving whatever it held before the failure; keys written
+// while it was out fault in from the surviving replicas via the
+// client's read fall-through. Restoration is idempotent.
+func (cl *Cluster) RestoreBackend(i int) {
+	if !cl.down[i] {
+		return
+	}
+	cl.down[i] = false
+	cl.Ring.Add(i)
+	for _, fn := range cl.watchers {
+		fn(i, true)
+	}
+}
+
+// Live reports whether backend i is on the ring.
+func (cl *Cluster) Live(i int) bool { return !cl.down[i] }
+
+// LiveBackends counts backends currently on the ring.
+func (cl *Cluster) LiveBackends() int {
+	n := 0
+	for _, d := range cl.down {
+		if !d {
+			n++
+		}
+	}
+	return n
+}
+
+// Route returns the backend owning key's primary.
 func (cl *Cluster) Route(key []byte) *Backend {
 	return cl.Backends[cl.Ring.Lookup(key)]
+}
+
+// ReplicaSet returns the backends holding key, primary first. The set
+// shrinks below R only when fewer than R backends remain on the ring.
+func (cl *Cluster) ReplicaSet(key []byte) []int {
+	return cl.Ring.LookupN(key, cl.Replicas)
 }
 
 // TotalRequests sums operations served across all shards.

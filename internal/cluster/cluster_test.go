@@ -107,14 +107,14 @@ func TestClientConnDesyncFailsOutstanding(t *testing.T) {
 	done := false
 	mgr.Spawn(func(c *event.Ctx) {
 		nc := &nullConn{}
-		cc := &clientConn{conn: nc, connected: true, inflight: map[uint32]Callback{}}
+		cc := &clientConn{conn: nc, connected: true, inflight: map[uint32]inflightOp{}}
 		failures := 0
-		cc.inflight[1] = func(c *event.Ctx, r Response) {
+		cc.inflight[1] = inflightOp{cb: func(c *event.Ctx, r Response) {
 			if r.OK() {
 				t.Error("desynced op reported success")
 			}
 			failures++
-		}
+		}}
 		junk := make([]byte, memcached.HeaderLen)
 		junk[0] = memcached.MagicRequest // request magic on the response path
 		cc.onData(c, iobuf.Wrap(junk))
@@ -136,6 +136,101 @@ func TestClientConnDesyncFailsOutstanding(t *testing.T) {
 }
 
 var _ appnet.Conn = (*nullConn)(nil)
+
+// TestClientConnFailReportsNetworkError: connection failure must surface
+// as StatusNetworkError, never as a cache miss - the regression that
+// once made every backend crash look like a burst of misses and left
+// failover nothing to react to.
+func TestClientConnFailReportsNetworkError(t *testing.T) {
+	k := sim.NewKernel()
+	m := machine.New(k, machine.DefaultConfig("c", 1))
+	mgr := event.NewManager(m.Cores[0], event.DefaultCosts())
+	done := false
+	mgr.Spawn(func(c *event.Ctx) {
+		cc := &clientConn{conn: &nullConn{}, connected: true, inflight: map[uint32]inflightOp{}}
+		var got []Response
+		for op := uint32(0); op < 3; op++ {
+			cc.inflight[op] = inflightOp{cb: func(c *event.Ctx, r Response) { got = append(got, r) }}
+		}
+		cc.fail(c)
+		if len(got) != 3 {
+			t.Fatalf("%d callbacks fired, want 3", len(got))
+		}
+		for _, r := range got {
+			if r.Status == memcached.StatusKeyNotFound {
+				t.Error("connection failure reported as a cache miss")
+			}
+			if !r.NetworkError() {
+				t.Errorf("status %#x, want StatusNetworkError", r.Status)
+			}
+		}
+		if !cc.closed {
+			t.Error("failed connection not retired")
+		}
+		done = true
+	})
+	k.RunUntil(1 * sim.Second)
+	if !done {
+		t.Fatal("event did not run")
+	}
+}
+
+// TestHealthMonitorToleratesAddBackend: a backend added after the
+// monitor was created is simply unmonitored - it must not crash the
+// heartbeat loop, and the cluster keeps serving.
+func TestHealthMonitorToleratesAddBackend(t *testing.T) {
+	cl := NewCluster(2, Options{Replicas: 2})
+	front := cl.Sys.Frontend()
+	cli := NewClient(cl, front, 0)
+	mon := NewHealthMonitor(cl, front, HealthConfig{})
+	mon.Start()
+	cl.Sys.K.RunUntil(20 * sim.Millisecond)
+
+	cl.AddBackend(1)
+	ok := 0
+	front.Spawn(func(c *event.Ctx) {
+		for i := 0; i < 32; i++ {
+			cli.Set(c, []byte(fmt.Sprintf("post-add-%d", i)), []byte("v"), 0, func(c *event.Ctx, r Response) {
+				if r.OK() {
+					ok++
+				}
+			})
+		}
+	})
+	cl.Sys.K.RunUntil(100 * sim.Millisecond) // several monitor ticks past the add
+	if ok != 32 {
+		t.Fatalf("only %d of 32 sets succeeded after AddBackend under monitoring", ok)
+	}
+}
+
+// TestSubmitToEvictedBackendFailsFast: an operation whose replica set
+// was computed before an eviction must fail over immediately when it
+// reaches the evicted backend - not re-dial the dead node and wait out
+// SYN backoff (fatal with timeouts disabled, the default).
+func TestSubmitToEvictedBackendFailsFast(t *testing.T) {
+	cl := NewCluster(2, Options{Replicas: 2})
+	front := cl.Sys.Frontend()
+	cli := NewClient(cl, front, 0) // RequestTimeout deliberately 0
+	cl.Sys.K.RunUntil(5 * sim.Millisecond)
+
+	cl.Backends[0].Node.Kill()
+	cl.EvictBackend(0)
+	var got *Response
+	start := cl.Sys.K.Now()
+	front.Spawn(func(c *event.Ctx) {
+		// Stale replica set, as a mid-operation eviction would leave it.
+		cli.rep(c).submit(c, 0, func(opaque uint32) []byte {
+			return memcached.BuildGet([]byte("stale-key"), opaque)
+		}, func(c *event.Ctx, r Response) { got = &r })
+	})
+	cl.Sys.K.RunUntil(start + 10*sim.Millisecond)
+	if got == nil {
+		t.Fatal("submit to evicted backend never completed (parked behind a dead dial)")
+	}
+	if !got.NetworkError() {
+		t.Fatalf("status %#x, want StatusNetworkError", got.Status)
+	}
+}
 
 // TestClusterRouteAgreesWithRing checks the convenience router.
 func TestClusterRouteAgreesWithRing(t *testing.T) {

@@ -1,0 +1,176 @@
+package cluster
+
+import (
+	"encoding/binary"
+
+	"ebbrt/internal/core"
+	"ebbrt/internal/event"
+	"ebbrt/internal/hosted"
+	"ebbrt/internal/sim"
+)
+
+// HealthConfig tunes failure detection. The defaults detect a dead
+// backend in Interval*FailureThreshold (15ms) - far faster than the
+// netstack's 200ms RTO, which is the point: clients fail over when the
+// monitor evicts, not when TCP gives up.
+type HealthConfig struct {
+	// Interval is the heartbeat period (default 5ms). A backend is
+	// considered to have missed a beat when no pong arrived during the
+	// whole previous interval.
+	Interval sim.Time
+	// FailureThreshold is the consecutive missed beats that evict a
+	// backend from the ring (default 3).
+	FailureThreshold int
+	// ReviveThreshold is the consecutive answered beats that restore an
+	// evicted backend (default 2).
+	ReviveThreshold int
+}
+
+func (cfg *HealthConfig) applyDefaults() {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 5 * sim.Millisecond
+	}
+	if cfg.FailureThreshold <= 0 {
+		cfg.FailureThreshold = 3
+	}
+	if cfg.ReviveThreshold <= 0 {
+		cfg.ReviveThreshold = 2
+	}
+}
+
+// heartbeat wire format: [kind byte][seq u64]
+const (
+	hbPing = 0x01
+	hbPong = 0x02
+)
+
+// HealthMonitor is the failure detector: a messenger-driven heartbeat
+// Ebb on the frontend (paper §3.3's inter-node representative
+// communication put to operational use). Every Interval it pings each
+// backend; a backend that misses FailureThreshold consecutive beats is
+// evicted from the ring, rerouting its keys to the successors that
+// already replicate them; an evicted backend that answers
+// ReviveThreshold consecutive beats is restored.
+//
+// Backends present when the monitor is created are monitored; the
+// monitor keeps pinging evicted backends so recovery is detected
+// without operator action. Eviction never empties the ring: the last
+// live backend is kept even if unresponsive, since routing to a
+// possibly-dead backend beats routing to nothing.
+type HealthMonitor struct {
+	cl   *Cluster
+	node *hosted.Node
+	cfg  HealthConfig
+	id   core.Id
+
+	states []backendHealth
+	byNode map[hosted.NodeId]int
+	seq    uint64
+	ticker *sim.Event
+	// EvictedAt and RestoredAt record when each backend last changed
+	// membership, for experiments measuring detection latency.
+	EvictedAt  map[int]sim.Time
+	RestoredAt map[int]sim.Time
+}
+
+type backendHealth struct {
+	lastPong sim.Time
+	misses   int
+	streak   int
+}
+
+// NewHealthMonitor installs the heartbeat Ebb for the cluster on the
+// given node (the hosted frontend). Call Start to begin monitoring.
+func NewHealthMonitor(cl *Cluster, node *hosted.Node, cfg HealthConfig) *HealthMonitor {
+	cfg.applyDefaults()
+	h := &HealthMonitor{
+		cl:         cl,
+		node:       node,
+		cfg:        cfg,
+		id:         cl.Sys.AllocateEbbId(),
+		states:     make([]backendHealth, len(cl.Backends)),
+		byNode:     map[hosted.NodeId]int{},
+		EvictedAt:  map[int]sim.Time{},
+		RestoredAt: map[int]sim.Time{},
+	}
+	for i, b := range cl.Backends {
+		h.byNode[b.Node.Id] = i
+	}
+	// Backends echo pings; the frontend collects pongs.
+	for _, b := range cl.Backends {
+		b := b
+		b.Node.Messenger.Register(h.id, func(c *event.Ctx, src hosted.NodeId, payload []byte) {
+			if len(payload) == 9 && payload[0] == hbPing {
+				reply := append([]byte{hbPong}, payload[1:]...)
+				b.Node.Messenger.Send(c, src, h.id, reply)
+			}
+		})
+	}
+	node.Messenger.Register(h.id, func(c *event.Ctx, src hosted.NodeId, payload []byte) {
+		if len(payload) != 9 || payload[0] != hbPong {
+			return
+		}
+		if i, ok := h.byNode[src]; ok {
+			h.states[i].lastPong = c.Now()
+		}
+	})
+	return h
+}
+
+// Start begins the heartbeat loop on the node's first core.
+func (h *HealthMonitor) Start() {
+	mgr := h.node.Runtime.Mgrs()[0]
+	now := h.node.Runtime.Kernel().Now()
+	for i := range h.states {
+		h.states[i].lastPong = now // everyone starts healthy
+	}
+	mgr.Spawn(func(c *event.Ctx) { h.tick(c, mgr) })
+}
+
+// Stop cancels the heartbeat loop.
+func (h *HealthMonitor) Stop() {
+	if h.ticker != nil {
+		h.ticker.Cancel()
+		h.ticker = nil
+	}
+}
+
+func (h *HealthMonitor) tick(c *event.Ctx, mgr *event.Manager) {
+	// Iterate the monitor's own state, not cl.Backends: backends added
+	// after the monitor was created are unmonitored, not a crash.
+	prev := c.Now() - h.cfg.Interval
+	for i := range h.states {
+		st := &h.states[i]
+		if st.lastPong >= prev {
+			st.streak++
+			st.misses = 0
+		} else {
+			st.misses++
+			st.streak = 0
+		}
+		if h.cl.Live(i) && st.misses >= h.cfg.FailureThreshold && h.cl.LiveBackends() > 1 {
+			h.EvictedAt[i] = c.Now()
+			h.cl.EvictBackend(i)
+		} else if !h.cl.Live(i) && st.streak >= h.cfg.ReviveThreshold {
+			h.RestoredAt[i] = c.Now()
+			h.cl.RestoreBackend(i)
+		}
+	}
+	// Ping everyone - including evicted backends, to notice recovery.
+	// Evicted backends are probed over a fresh connection each beat: the
+	// established stream is wedged behind the outage and would deliver
+	// queued beats one RTO at a time, turning a revival the handshake
+	// could confirm in microseconds into seconds of blindness.
+	h.seq++
+	var ping [9]byte
+	ping[0] = hbPing
+	binary.BigEndian.PutUint64(ping[1:], h.seq)
+	for i := range h.states {
+		b := h.cl.Backends[i]
+		if !h.cl.Live(i) {
+			h.node.Messenger.Reset(c, b.Node.Id)
+		}
+		h.node.Messenger.Send(c, b.Node.Id, h.id, ping[:])
+	}
+	h.ticker = mgr.After(h.cfg.Interval, func(c *event.Ctx) { h.tick(c, mgr) })
+}

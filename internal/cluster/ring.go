@@ -120,3 +120,52 @@ func (r *Ring) Lookup(key []byte) int {
 	}
 	return r.points[i].backend
 }
+
+// LookupN returns the key's replica set: up to n distinct backends in
+// ring-successor order, starting with the primary (what Lookup
+// returns). When n exceeds the number of distinct backends on the ring,
+// every backend is returned - the caller gets the whole membership in
+// preference order. Like Lookup, an empty ring panics.
+//
+// Successor-order replica sets are what make failure handling cheap:
+// removing a backend promotes each of its keys' next successors, which
+// by construction already hold the keys' replicas.
+func (r *Ring) LookupN(key []byte, n int) []int {
+	if len(r.points) == 0 {
+		panic("cluster: lookup on empty ring")
+	}
+	if n <= 0 {
+		return nil
+	}
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]int, 0, n)
+	for j := 0; j < len(r.points) && len(out) < n; j++ {
+		b := r.points[(i+j)%len(r.points)].backend
+		dup := false
+		for _, seen := range out {
+			if seen == b {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Members returns the distinct backends currently on the ring, sorted.
+func (r *Ring) Members() []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, p := range r.points {
+		if !seen[p.backend] {
+			seen[p.backend] = true
+			out = append(out, p.backend)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

@@ -127,6 +127,167 @@ func TestRingRemoveRedistributes(t *testing.T) {
 	}
 }
 
+func TestRingLookupNDistinctAndOrdered(t *testing.T) {
+	const backends = 5
+	r := NewRing(0)
+	for b := 0; b < backends; b++ {
+		r.Add(b)
+	}
+	for _, key := range sampleKeys(2000) {
+		for n := 1; n <= backends; n++ {
+			reps := r.LookupN(key, n)
+			if len(reps) != n {
+				t.Fatalf("LookupN(%q, %d) returned %d backends", key, n, len(reps))
+			}
+			seen := map[int]bool{}
+			for _, b := range reps {
+				if b < 0 || b >= backends {
+					t.Fatalf("LookupN returned unknown backend %d", b)
+				}
+				if seen[b] {
+					t.Fatalf("LookupN(%q, %d) repeated backend %d: %v", key, n, b, reps)
+				}
+				seen[b] = true
+			}
+			// The primary is what Lookup returns, and each shorter set is
+			// a prefix of the longer one (successor order is stable).
+			if reps[0] != r.Lookup(key) {
+				t.Fatalf("LookupN primary %d != Lookup %d", reps[0], r.Lookup(key))
+			}
+			if n > 1 {
+				prev := r.LookupN(key, n-1)
+				for i := range prev {
+					if prev[i] != reps[i] {
+						t.Fatalf("LookupN(%d) not a prefix of LookupN(%d): %v vs %v", n-1, n, prev, reps)
+					}
+				}
+			}
+		}
+		// Asking beyond the membership returns everyone, once.
+		all := r.LookupN(key, backends+3)
+		if len(all) != backends {
+			t.Fatalf("LookupN beyond membership returned %d backends", len(all))
+		}
+	}
+}
+
+func TestRingLookupNMinimalChangeOnAdd(t *testing.T) {
+	// Adding a backend may only insert itself into a key's replica set
+	// (pushing the tail out); it must never reorder the surviving
+	// members. Formally: the new set with the newcomer filtered out is a
+	// prefix of the old set.
+	const replicas = 3
+	for _, n := range []int{replicas, 4, 8} {
+		r := NewRing(0)
+		for b := 0; b < n; b++ {
+			r.Add(b)
+		}
+		keys := sampleKeys(5000)
+		before := make([][]int, len(keys))
+		for i, key := range keys {
+			before[i] = r.LookupN(key, replicas)
+		}
+		r.Add(n)
+		changed := 0
+		for i, key := range keys {
+			after := r.LookupN(key, replicas)
+			var survivors []int
+			for _, b := range after {
+				if b != n {
+					survivors = append(survivors, b)
+				}
+			}
+			if len(survivors) != len(after) {
+				changed++
+			}
+			for j, b := range survivors {
+				if before[i][j] != b {
+					t.Fatalf("n=%d key %q: add reordered survivors: before %v after %v",
+						n, key, before[i], after)
+				}
+			}
+		}
+		// The newcomer lands in roughly replicas/(n+1) of the sets; a
+		// wholesale reshuffle would put it in nearly all of them.
+		ideal := float64(len(keys)) * float64(replicas) / float64(n+1)
+		if float64(changed) > 2*ideal {
+			t.Errorf("n=%d: newcomer entered %d replica sets, more than 2x ideal %.0f", n, changed, ideal)
+		}
+		if changed == 0 {
+			t.Errorf("n=%d: newcomer entered no replica sets", n)
+		}
+	}
+}
+
+func TestRingLookupNRemoveRedistributesToSuccessors(t *testing.T) {
+	// Removing a backend must (a) leave each key's surviving replicas in
+	// order, extended by fresh successors at the tail, and (b) hand each
+	// of the dead backend's primaries to the key's old second replica -
+	// which is the property replication relies on: the new primary
+	// already holds the key.
+	const backends, replicas = 5, 3
+	const dead = 2
+	r := NewRing(0)
+	for b := 0; b < backends; b++ {
+		r.Add(b)
+	}
+	keys := sampleKeys(5000)
+	before := make([][]int, len(keys))
+	for i, key := range keys {
+		before[i] = r.LookupN(key, replicas)
+	}
+	r.Remove(dead)
+	promoted := 0
+	for i, key := range keys {
+		after := r.LookupN(key, replicas)
+		var survivors []int
+		for _, b := range before[i] {
+			if b != dead {
+				survivors = append(survivors, b)
+			}
+		}
+		for j, b := range survivors {
+			if after[j] != b {
+				t.Fatalf("key %q: remove disturbed survivors: before %v after %v", key, before[i], after)
+			}
+		}
+		if before[i][0] == dead {
+			promoted++
+			if after[0] != before[i][1] {
+				t.Fatalf("key %q: primary did not pass to old second replica: before %v after %v",
+					key, before[i], after)
+			}
+		}
+	}
+	if promoted == 0 {
+		t.Fatal("dead backend was primary for no keys - test vacuous")
+	}
+}
+
+func TestRingMembers(t *testing.T) {
+	r := NewRing(0)
+	if got := r.Members(); len(got) != 0 {
+		t.Fatalf("empty ring has members %v", got)
+	}
+	for _, b := range []int{3, 0, 7} {
+		r.Add(b)
+	}
+	want := []int{0, 3, 7}
+	got := r.Members()
+	if len(got) != len(want) {
+		t.Fatalf("members %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("members %v, want %v", got, want)
+		}
+	}
+	r.Remove(3)
+	if got := r.Members(); len(got) != 2 || got[0] != 0 || got[1] != 7 {
+		t.Fatalf("members after remove %v", got)
+	}
+}
+
 func TestRingEmptyLookupPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -1,0 +1,269 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ebbrt/internal/cluster"
+	"ebbrt/internal/event"
+	"ebbrt/internal/load"
+	"ebbrt/internal/sim"
+)
+
+// AvailabilityOptions tunes the failure-under-load experiment. The zero
+// value selects a 4-backend, R=2 deployment killed mid-measurement.
+type AvailabilityOptions struct {
+	// Backends is the native backend count (default 4).
+	Backends int
+	// CoresPerBackend sizes each backend (default 1).
+	CoresPerBackend int
+	// Replicas is the replication factor R (default 2).
+	Replicas int
+	// FrontendCores sizes the hosted frontend driving the load
+	// (default 4: the frontend is the client here, not a bottleneck
+	// under study).
+	FrontendCores int
+	// TargetRPS is the offered load (default 40000).
+	TargetRPS float64
+	// Duration is the measured window (default 160ms).
+	Duration sim.Time
+	// KillAt is when the victim loses its network, relative to
+	// measurement start (default 60ms).
+	KillAt sim.Time
+	// ReviveAt, when positive, revives the victim at that offset.
+	ReviveAt sim.Time
+	// KillBackend selects the victim (default 0).
+	KillBackend int
+	// Bucket is the timeline resolution (default 2ms).
+	Bucket sim.Time
+	// RequestTimeout bounds one replica operation at the client
+	// (default 4ms) so reads fail over before the monitor evicts.
+	RequestTimeout sim.Time
+	// Health tunes the failure detector (defaults per HealthConfig).
+	Health cluster.HealthConfig
+	// KeySpace sizes the ETC key population (default 4000, smaller
+	// than the full workload so prepopulation stays cheap).
+	KeySpace int
+}
+
+func (o *AvailabilityOptions) applyDefaults() {
+	if o.Backends <= 0 {
+		o.Backends = 4
+	}
+	if o.CoresPerBackend <= 0 {
+		o.CoresPerBackend = 1
+	}
+	if o.Replicas <= 0 {
+		o.Replicas = 2
+	}
+	if o.FrontendCores <= 0 {
+		o.FrontendCores = 4
+	}
+	if o.TargetRPS <= 0 {
+		o.TargetRPS = 40000
+	}
+	if o.Duration <= 0 {
+		o.Duration = 160 * sim.Millisecond
+	}
+	if o.KillAt <= 0 {
+		o.KillAt = 60 * sim.Millisecond
+	}
+	if o.Bucket <= 0 {
+		o.Bucket = 2 * sim.Millisecond
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 4 * sim.Millisecond
+	}
+	if o.KeySpace <= 0 {
+		o.KeySpace = 4000
+	}
+}
+
+// AvailabilityResult reports throughput and hit rate through a backend
+// failure: before the kill, during the failure window (kill to ring
+// eviction), and after the ring has rerouted.
+type AvailabilityResult struct {
+	Opt  AvailabilityOptions
+	Load load.ClusterLoadResult
+	// EvictedAt/RestoredAt are offsets from measurement start (-1 if
+	// the event never happened).
+	EvictedAt  sim.Time
+	RestoredAt sim.Time
+	// Phase throughputs (completed operations per second).
+	PreKillRPS   float64
+	FailureRPS   float64
+	RecoveredRPS float64
+	// Phase read hit rates.
+	PreKillHitRate   float64
+	FailureHitRate   float64
+	RecoveredHitRate float64
+}
+
+// clusterKV adapts the replicated client Ebb to the load generator's
+// KVClient interface.
+type clusterKV struct{ cli *cluster.Client }
+
+func outcome(r cluster.Response) load.OpOutcome {
+	switch {
+	case r.OK():
+		return load.OpOutcome{OK: true}
+	case r.NetworkError():
+		return load.OpOutcome{NetErr: true}
+	default:
+		return load.OpOutcome{Miss: true}
+	}
+}
+
+func (a clusterKV) Get(c *event.Ctx, key []byte, done func(c *event.Ctx, o load.OpOutcome)) {
+	a.cli.Get(c, key, func(c *event.Ctx, r cluster.Response) { done(c, outcome(r)) })
+}
+
+func (a clusterKV) Set(c *event.Ctx, key, value []byte, done func(c *event.Ctx, o load.OpOutcome)) {
+	a.cli.Set(c, key, value, 0, func(c *event.Ctx, r cluster.Response) { done(c, outcome(r)) })
+}
+
+// Availability boots a replicated cluster with health monitoring,
+// drives the ETC workload through the frontend's client Ebb, kills a
+// backend mid-measurement (and optionally revives it), and reports
+// throughput and hit rate through the failure: the multi-backend
+// extension of the paper's §4.2 methodology aimed at the question the
+// scaling experiment cannot answer - what happens when hardware goes
+// away under load.
+func Availability(opt AvailabilityOptions) AvailabilityResult {
+	opt.applyDefaults()
+	cl := cluster.NewCluster(opt.Backends, cluster.Options{
+		CoresPerBackend: opt.CoresPerBackend,
+		Replicas:        opt.Replicas,
+		FrontendCores:   opt.FrontendCores,
+	})
+	front := cl.Sys.Frontend()
+	cli := cluster.NewClientWithOptions(cl, front, cluster.ClientOptions{
+		RequestTimeout: opt.RequestTimeout,
+	})
+	mon := cluster.NewHealthMonitor(cl, front, opt.Health)
+	k := cl.Sys.K
+	evictedAt, restoredAt := sim.Time(-1), sim.Time(-1)
+	cl.Watch(func(b int, up bool) {
+		if b != opt.KillBackend {
+			return
+		}
+		if up {
+			restoredAt = k.Now()
+		} else {
+			evictedAt = k.Now()
+		}
+	})
+	mon.Start()
+
+	etc := load.DefaultETC()
+	etc.KeySpace = opt.KeySpace
+	events := []load.ChaosEvent{{
+		At: opt.KillAt,
+		Fn: func() { cl.Backends[opt.KillBackend].Node.Kill() },
+	}}
+	if opt.ReviveAt > 0 {
+		events = append(events, load.ChaosEvent{
+			At: opt.ReviveAt,
+			Fn: func() { cl.Backends[opt.KillBackend].Node.Revive() },
+		})
+	}
+	res := load.RunClusterLoad(front.Runtime, clusterKV{cli: cli}, load.ClusterLoadConfig{
+		TargetRPS: opt.TargetRPS,
+		Warmup:    10 * sim.Millisecond,
+		Duration:  opt.Duration,
+		Bucket:    opt.Bucket,
+		Seed:      42,
+		ETC:       etc,
+		Events:    events,
+	})
+
+	out := AvailabilityResult{Opt: opt, Load: res, EvictedAt: -1, RestoredAt: -1}
+	if evictedAt >= 0 {
+		out.EvictedAt = evictedAt - res.MeasuredFrom
+	}
+	if restoredAt >= 0 {
+		out.RestoredAt = restoredAt - res.MeasuredFrom
+	}
+
+	// Phase boundaries. The failure window runs from the kill to ring
+	// eviction; if eviction never happened, assume a generous window so
+	// the numbers still mean something.
+	failEnd := out.EvictedAt
+	if failEnd < 0 {
+		failEnd = opt.KillAt + 25*sim.Millisecond
+	}
+	if failEnd-opt.KillAt < opt.Bucket {
+		failEnd = opt.KillAt + opt.Bucket
+	}
+	recoverFrom := failEnd + 2*opt.Bucket // settle past the eviction bucket
+	recoverTo := opt.Duration
+	if opt.ReviveAt > 0 && opt.ReviveAt < recoverTo {
+		recoverTo = opt.ReviveAt
+	}
+	out.PreKillRPS, out.PreKillHitRate = windowStats(res, 0, opt.KillAt)
+	out.FailureRPS, out.FailureHitRate = windowStats(res, opt.KillAt, failEnd)
+	out.RecoveredRPS, out.RecoveredHitRate = windowStats(res, recoverFrom, recoverTo)
+	return out
+}
+
+// windowStats aggregates the timeline buckets fully inside [from, to).
+func windowStats(res load.ClusterLoadResult, from, to sim.Time) (rps, hitRate float64) {
+	var completed, hits, misses uint64
+	var covered sim.Time
+	for _, b := range res.Timeline {
+		if b.Start >= from && b.Start+res.BucketWidth <= to {
+			completed += b.Completed
+			hits += b.Hits
+			misses += b.Misses
+			covered += res.BucketWidth
+		}
+	}
+	if covered == 0 {
+		return 0, 0
+	}
+	rps = float64(completed) / (float64(covered) / 1e9)
+	if hits+misses > 0 {
+		hitRate = float64(hits) / float64(hits+misses)
+	}
+	return rps, hitRate
+}
+
+// FormatAvailability renders the run: phase summary plus the timeline.
+func FormatAvailability(r AvailabilityResult) string {
+	out := fmt.Sprintf("Availability: %d backends, R=%d, %.0f RPS offered, kill backend %d at %.0fms\n",
+		r.Opt.Backends, r.Opt.Replicas, r.Opt.TargetRPS, r.Opt.KillBackend, float64(r.Opt.KillAt)/1e6)
+	if r.EvictedAt >= 0 {
+		out += fmt.Sprintf("  evicted at %.1fms (detection latency %.1fms)\n",
+			float64(r.EvictedAt)/1e6, float64(r.EvictedAt-r.Opt.KillAt)/1e6)
+	} else {
+		out += "  never evicted\n"
+	}
+	if r.Opt.ReviveAt > 0 {
+		if r.RestoredAt >= 0 {
+			out += fmt.Sprintf("  revived at %.0fms, restored to ring at %.1fms\n",
+				float64(r.Opt.ReviveAt)/1e6, float64(r.RestoredAt)/1e6)
+		} else {
+			out += fmt.Sprintf("  revived at %.0fms, never restored\n", float64(r.Opt.ReviveAt)/1e6)
+		}
+	}
+	out += fmt.Sprintf("  pre-kill:  %8.0f RPS  hit rate %.4f\n", r.PreKillRPS, r.PreKillHitRate)
+	out += fmt.Sprintf("  failure:   %8.0f RPS  hit rate %.4f  (%.0f%% of pre-kill)\n",
+		r.FailureRPS, r.FailureHitRate, pct(r.FailureRPS, r.PreKillRPS))
+	out += fmt.Sprintf("  recovered: %8.0f RPS  hit rate %.4f  (%.0f%% of pre-kill)\n",
+		r.RecoveredRPS, r.RecoveredHitRate, pct(r.RecoveredRPS, r.PreKillRPS))
+	out += fmt.Sprintf("  totals: %d completed, %d misses, %d network errors, mean %.1fus p99 %.1fus\n",
+		r.Load.Completed, r.Load.Misses, r.Load.NetErrs, r.Load.Mean.Micros(), r.Load.P99.Micros())
+	out += fmt.Sprintf("  %-8s %10s %8s %8s %8s\n", "t(ms)", "RPS", "hits", "misses", "netErrs")
+	for _, b := range r.Load.Timeline {
+		rps := float64(b.Completed) / (float64(r.Load.BucketWidth) / 1e9)
+		out += fmt.Sprintf("  %-8.1f %10.0f %8d %8d %8d\n",
+			float64(b.Start)/1e6, rps, b.Hits, b.Misses, b.NetErrs)
+	}
+	return out
+}
+
+func pct(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * a / b
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"testing"
+
+	"ebbrt/internal/sim"
+)
+
+// TestAvailabilityFailover is the acceptance check for the
+// fault-tolerant cluster: with R=2 replication on a 4-backend
+// deployment, killing one backend mid-run must leave aggregate
+// achieved throughput at >= 60% of the pre-kill rate during the
+// failure window (kill to ring eviction) and fully recover once the
+// ring has rerouted - with zero false misses throughout, since every
+// key the dead backend held has a live replica.
+func TestAvailabilityFailover(t *testing.T) {
+	res := Availability(AvailabilityOptions{})
+	t.Logf("\n%s", FormatAvailability(res))
+
+	if res.EvictedAt < 0 {
+		t.Fatal("dead backend was never evicted from the ring")
+	}
+	if lat := res.EvictedAt - res.Opt.KillAt; lat <= 0 || lat > 50*sim.Millisecond {
+		t.Errorf("eviction latency %v outside (0, 50ms]", lat)
+	}
+	if res.Load.Misses != 0 {
+		t.Errorf("%d false misses: replicated reads must be served by surviving replicas", res.Load.Misses)
+	}
+	if res.PreKillRPS < 0.8*res.Opt.TargetRPS {
+		t.Fatalf("pre-kill throughput %.0f RPS below 80%% of offered %.0f - cluster unhealthy before the fault",
+			res.PreKillRPS, res.Opt.TargetRPS)
+	}
+	if res.FailureRPS < 0.6*res.PreKillRPS {
+		t.Errorf("failure-window throughput %.0f RPS is %.0f%% of pre-kill %.0f, want >= 60%%",
+			res.FailureRPS, pct(res.FailureRPS, res.PreKillRPS), res.PreKillRPS)
+	}
+	if res.RecoveredRPS < 0.9*res.PreKillRPS {
+		t.Errorf("recovered throughput %.0f RPS is %.0f%% of pre-kill %.0f, want >= 90%%",
+			res.RecoveredRPS, pct(res.RecoveredRPS, res.PreKillRPS), res.PreKillRPS)
+	}
+}
+
+// TestAvailabilityReviveRestores: a killed backend that comes back is
+// restored to the ring by the health monitor, and the run stays free
+// of false misses across both transitions (eviction reroutes reads to
+// replicas; restoration's stale primary is healed by read fall-through
+// and repair).
+func TestAvailabilityReviveRestores(t *testing.T) {
+	res := Availability(AvailabilityOptions{
+		Duration: 200 * sim.Millisecond,
+		KillAt:   50 * sim.Millisecond,
+		ReviveAt: 110 * sim.Millisecond,
+	})
+	t.Logf("\n%s", FormatAvailability(res))
+
+	if res.EvictedAt < 0 {
+		t.Fatal("dead backend was never evicted")
+	}
+	if res.RestoredAt < 0 {
+		t.Fatal("revived backend was never restored to the ring")
+	}
+	if res.RestoredAt <= res.Opt.ReviveAt {
+		t.Errorf("restored at %v, before the revive at %v", res.RestoredAt, res.Opt.ReviveAt)
+	}
+	if lat := res.RestoredAt - res.Opt.ReviveAt; lat > 50*sim.Millisecond {
+		t.Errorf("restoration latency %v exceeds 50ms", lat)
+	}
+	if res.Load.Misses != 0 {
+		t.Errorf("%d false misses across kill/revive", res.Load.Misses)
+	}
+}

@@ -63,11 +63,52 @@ type Node struct {
 // IP returns the node's address on the application network.
 func (n *Node) IP() netstack.Ipv4Addr { return netstack.IP(10, 0, 0, byte(10+n.Id)) }
 
-// NewSystem creates the frontend (hosted) node.
-func NewSystem() *System {
+// Kill simulates machine failure by cutting every NIC: the node stops
+// reaching the network and stops being reachable, instantly and
+// silently. Nothing above the device layer is torn down - sockets,
+// stores, and Ebb representatives stay in memory, exactly as on a
+// machine that lost power to its network port - so peers learn of the
+// failure only through their own timeouts and health checks.
+func (n *Node) Kill() {
+	for _, nic := range n.Machine.NICs {
+		nic.SetUp(false)
+	}
+}
+
+// Revive reconnects a killed node's NICs. In-flight state from before
+// the failure (TCP connections mid-retransmission, the contents of the
+// node's stores) resumes where it left off; frames dropped during the
+// outage are recovered by the peers' retransmission.
+func (n *Node) Revive() {
+	for _, nic := range n.Machine.NICs {
+		nic.SetUp(true)
+	}
+}
+
+// Alive reports whether the node is connected to the network.
+func (n *Node) Alive() bool {
+	for _, nic := range n.Machine.NICs {
+		if !nic.Up() {
+			return false
+		}
+	}
+	return true
+}
+
+// NewSystem creates the frontend (hosted) node with the default two
+// cores.
+func NewSystem() *System { return NewSystemCores(2) }
+
+// NewSystemCores creates the frontend (hosted) node with the given core
+// count, for deployments that drive heavy client load through the
+// frontend itself.
+func NewSystemCores(frontendCores int) *System {
+	if frontendCores <= 0 {
+		frontendCores = 2
+	}
 	k := sim.NewKernel()
 	s := &System{K: k, Switch: machine.NewSwitch(k), nextId: 1000}
-	s.addNode(true, 2)
+	s.addNode(true, frontendCores)
 	return s
 }
 
@@ -139,6 +180,11 @@ type Messenger struct {
 	conns    map[NodeId]appnet.Conn
 	dialing  map[NodeId][]pendingMsg
 	rx       map[NodeId]*[]byte
+	// dialAttempt numbers dial attempts per destination. Reset bumps it
+	// to orphan an in-flight dial: a superseded dial's callbacks must
+	// neither install its connection nor clear the state of the attempt
+	// that replaced it.
+	dialAttempt map[NodeId]uint64
 }
 
 type pendingMsg struct {
@@ -148,11 +194,12 @@ type pendingMsg struct {
 
 func newMessenger(n *Node) *Messenger {
 	m := &Messenger{
-		node:     n,
-		handlers: map[core.Id]MessageHandler{},
-		conns:    map[NodeId]appnet.Conn{},
-		dialing:  map[NodeId][]pendingMsg{},
-		rx:       map[NodeId]*[]byte{},
+		node:        n,
+		handlers:    map[core.Id]MessageHandler{},
+		conns:       map[NodeId]appnet.Conn{},
+		dialing:     map[NodeId][]pendingMsg{},
+		rx:          map[NodeId]*[]byte{},
+		dialAttempt: map[NodeId]uint64{},
 	}
 	// Accept inbound messenger connections.
 	err := n.Runtime.Listen(messengerPort, func(conn appnet.Conn) appnet.Callbacks {
@@ -195,6 +242,8 @@ func (m *Messenger) Send(c *event.Ctx, dst NodeId, ebb core.Id, payload []byte) 
 	if len(m.dialing[dst]) > 1 {
 		return // dial already in progress
 	}
+	attempt := m.dialAttempt[dst] + 1
+	m.dialAttempt[dst] = attempt
 	dstNode := m.node.Sys.Nodes[dst]
 	var rxbuf []byte
 	from := dst
@@ -204,9 +253,24 @@ func (m *Messenger) Send(c *event.Ctx, dst NodeId, ebb core.Id, payload []byte) 
 			rxbuf = m.process(c, &from, conn, rxbuf)
 		},
 		OnClose: func(c *event.Ctx, conn appnet.Conn, err error) {
+			if m.dialAttempt[dst] != attempt {
+				return // superseded by Reset; a newer attempt owns the state
+			}
 			delete(m.conns, dst)
+			// If the dial itself failed, messages queued behind it would
+			// otherwise wedge the destination forever (the next Send sees
+			// a dial "in progress" that will never complete). Drop them -
+			// the messenger is best-effort - so a later Send redials.
+			delete(m.dialing, dst)
 		},
 	}, func(c *event.Ctx, conn appnet.Conn) {
+		if m.dialAttempt[dst] != attempt {
+			// A Reset orphaned this dial while its SYN was in flight;
+			// close the late connection rather than clobbering the
+			// current attempt's.
+			conn.Close(c)
+			return
+		}
 		m.conns[dst] = conn
 		queued := m.dialing[dst]
 		delete(m.dialing, dst)
@@ -214,6 +278,24 @@ func (m *Messenger) Send(c *event.Ctx, dst NodeId, ebb core.Id, payload []byte) 
 			conn.Send(c, wrapMsg(m.node.Id, msg.ebb, msg.payload))
 		}
 	})
+}
+
+// Reset drops the cached connection to dst (closing it if open) along
+// with any dial in progress, so the next Send dials from scratch. A
+// stream wedged behind a dead peer recovers one lost segment per RTO
+// once the peer returns - seconds of blackout; failure detectors
+// instead Reset and probe over a fresh connection, whose handshake
+// completes within microseconds of the peer reviving.
+func (m *Messenger) Reset(c *event.Ctx, dst NodeId) {
+	if conn, ok := m.conns[dst]; ok {
+		delete(m.conns, dst)
+		conn.Close(c)
+	}
+	delete(m.dialing, dst)
+	// Orphan any in-flight dial: its callbacks check this counter and
+	// stand down, so a stale dial completing later can neither install
+	// its connection nor drop messages queued behind a newer attempt.
+	m.dialAttempt[dst]++
 }
 
 // process parses complete messages from the stream and dispatches them.

@@ -75,6 +75,77 @@ func TestMessengerManyMessagesOrdered(t *testing.T) {
 	}
 }
 
+func TestNodeKillPartitionsAndReviveResumes(t *testing.T) {
+	sys := NewSystem()
+	native := sys.AddNativeNode(1)
+	id := sys.AllocateEbbId()
+
+	var got []string
+	sys.Frontend().Messenger.Register(id, func(c *event.Ctx, src NodeId, payload []byte) {
+		got = append(got, string(payload))
+	})
+	// Establish the messenger connection while the node is healthy.
+	native.Spawn(func(c *event.Ctx) {
+		native.Messenger.Send(c, 0, id, []byte("before"))
+	})
+	sys.K.RunUntil(1 * sim.Second)
+	if len(got) != 1 || got[0] != "before" {
+		t.Fatalf("pre-kill message lost: %v", got)
+	}
+
+	// Kill the node: messages sent while dead must not arrive.
+	native.Kill()
+	if native.Alive() {
+		t.Fatal("killed node reports alive")
+	}
+	native.Spawn(func(c *event.Ctx) {
+		native.Messenger.Send(c, 0, id, []byte("during"))
+	})
+	sys.K.RunUntil(sys.K.Now() + 50*sim.Millisecond)
+	if len(got) != 1 {
+		t.Fatalf("message escaped a killed node: %v", got)
+	}
+
+	// Revive: TCP retransmission recovers the partition-era message.
+	native.Revive()
+	if !native.Alive() {
+		t.Fatal("revived node reports dead")
+	}
+	sys.K.RunUntil(sys.K.Now() + 2*sim.Second)
+	if len(got) != 2 || got[1] != "during" {
+		t.Fatalf("retransmission did not recover message: %v", got)
+	}
+}
+
+func TestMessengerRedialsAfterFailedDial(t *testing.T) {
+	// A dial to a dead node must not wedge the destination: once the
+	// failed dial tears down, a later Send redials and succeeds.
+	sys := NewSystem()
+	native := sys.AddNativeNode(1)
+	id := sys.AllocateEbbId()
+	var got []string
+	native.Messenger.Register(id, func(c *event.Ctx, src NodeId, payload []byte) {
+		got = append(got, string(payload))
+	})
+
+	native.Kill()
+	sys.Frontend().Spawn(func(c *event.Ctx) {
+		sys.Frontend().Messenger.Send(c, native.Id, id, []byte("lost"))
+	})
+	// Long enough for the SYN retransmissions to give up (RTO 200ms with
+	// exponential backoff through 9 doublings is ~205s of virtual time).
+	sys.K.RunUntil(250 * sim.Second)
+	native.Revive()
+	got = got[:0] // only the post-revival send matters
+	sys.Frontend().Spawn(func(c *event.Ctx) {
+		sys.Frontend().Messenger.Send(c, native.Id, id, []byte("after"))
+	})
+	sys.K.RunUntil(sys.K.Now() + 2*sim.Second)
+	if len(got) != 1 || got[0] != "after" {
+		t.Fatalf("messenger wedged after failed dial: %v", got)
+	}
+}
+
 func TestEbbIdAllocationSharedNamespace(t *testing.T) {
 	sys := NewSystem()
 	sys.AddNativeNode(1)

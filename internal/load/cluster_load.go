@@ -1,0 +1,231 @@
+package load
+
+import (
+	"ebbrt/internal/apps/appnet"
+	"ebbrt/internal/event"
+	"ebbrt/internal/sim"
+)
+
+// OpOutcome classifies one replicated-cluster operation as the load
+// generator scores it.
+type OpOutcome struct {
+	// OK: the operation succeeded (write reached quorum / read was
+	// served by some replica).
+	OK bool
+	// Miss: a read was answered authoritatively with key-not-found.
+	Miss bool
+	// NetErr: the operation failed in the network or at a quorum.
+	NetErr bool
+}
+
+// KVClient abstracts the replicated client Ebb for the load generator,
+// keeping this package decoupled from the cluster package (the
+// experiment harness adapts cluster.Client to it).
+type KVClient interface {
+	Get(c *event.Ctx, key []byte, done func(c *event.Ctx, o OpOutcome))
+	Set(c *event.Ctx, key, value []byte, done func(c *event.Ctx, o OpOutcome))
+}
+
+// ChaosEvent is a scheduled fault (or any side effect) injected during
+// a measured run; At is relative to measurement start.
+type ChaosEvent struct {
+	At sim.Time
+	Fn func()
+}
+
+// ClusterLoadConfig drives one client-Ebb load run.
+type ClusterLoadConfig struct {
+	// TargetRPS is the open-loop Poisson arrival rate.
+	TargetRPS float64
+	// Warmup runs load before measurement begins.
+	Warmup sim.Time
+	// Duration is the measured window.
+	Duration sim.Time
+	// Bucket is the timeline resolution (default Duration/50).
+	Bucket sim.Time
+	// Seed feeds the workload and arrival processes.
+	Seed uint64
+	// ETC is the workload shape; the zero value selects DefaultETC.
+	ETC ETCConfig
+	// Events are faults injected at fixed offsets into the measurement.
+	Events []ChaosEvent
+}
+
+// LoadBucket is one timeline slot of a measured run.
+type LoadBucket struct {
+	// Start is the bucket's offset from measurement start.
+	Start sim.Time
+	// Completed counts operations that finished (successfully) in this
+	// bucket, by completion time.
+	Completed uint64
+	// Hits and Misses partition completed reads.
+	Hits, Misses uint64
+	// NetErrs counts operations that failed with a network/quorum error.
+	NetErrs uint64
+}
+
+// ClusterLoadResult is one measured run through the client Ebb.
+type ClusterLoadResult struct {
+	TargetRPS   float64
+	AchievedRPS float64
+	Mean        sim.Time
+	P99         sim.Time
+	Completed   uint64
+	Hits        uint64
+	Misses      uint64
+	NetErrs     uint64
+	// Timeline is the per-bucket completion record, for locating a
+	// failure window inside the run.
+	Timeline []LoadBucket
+	// BucketWidth is the timeline resolution used.
+	BucketWidth sim.Time
+	// MeasuredFrom is the absolute virtual time measurement started,
+	// for correlating external events (evictions) with the timeline.
+	MeasuredFrom sim.Time
+	// Populated counts keys successfully written during prepopulation.
+	Populated int
+}
+
+// clusterLoad is one running generator.
+type clusterLoad struct {
+	cfg       ClusterLoadConfig
+	work      *Workload
+	kv        KVClient
+	rec       *sim.Recorder
+	arrRng    *sim.Rng
+	measStart sim.Time
+	measEnd   sim.Time
+	timeline  []LoadBucket
+	completed uint64
+	hits      uint64
+	misses    uint64
+	netErrs   uint64
+}
+
+// RunClusterLoad drives the ETC workload through a replicated cluster
+// client: prepopulates the keyspace with acknowledged (quorum) writes,
+// then offers open-loop Poisson arrivals for Warmup+Duration,
+// recording a completion timeline. Unlike RunMutilateSharded - which
+// aims raw connections at each shard - every operation here takes the
+// full replicated data path: ring lookup, write fan-out, read
+// failover. cfg.Events inject faults mid-measurement, which is how the
+// availability experiment kills a backend under load.
+func RunClusterLoad(rt appnet.Runtime, kv KVClient, cfg ClusterLoadConfig) ClusterLoadResult {
+	if cfg.ETC.KeySpace == 0 {
+		cfg.ETC = DefaultETC()
+	}
+	if cfg.Bucket <= 0 {
+		cfg.Bucket = cfg.Duration / 50
+	}
+	m := &clusterLoad{
+		cfg:    cfg,
+		work:   NewWorkload(cfg.ETC, cfg.Seed),
+		kv:     kv,
+		rec:    sim.NewRecorder(int(cfg.TargetRPS * float64(cfg.Duration) / 1e9)),
+		arrRng: sim.NewRng(cfg.Seed ^ 0x9e3779b9),
+	}
+	k := rt.Kernel()
+	mgrs := rt.Mgrs()
+
+	// Prepopulate through the client: every key lands on its full
+	// replica set via acknowledged quorum writes, so reads during later
+	// faults have live replicas to fail over to.
+	populated := 0
+	for i := range m.work.Keys {
+		i := i
+		mgrs[i%len(mgrs)].Spawn(func(c *event.Ctx) {
+			m.kv.Set(c, m.work.Keys[i], m.work.Values[i], func(c *event.Ctx, o OpOutcome) {
+				if o.OK {
+					populated++
+				}
+			})
+		})
+	}
+	popDeadline := k.Now() + 2*sim.Second
+	for populated < len(m.work.Keys) && k.Now() < popDeadline {
+		k.RunFor(1 * sim.Millisecond)
+	}
+
+	m.measStart = k.Now() + cfg.Warmup
+	m.measEnd = m.measStart + cfg.Duration
+	nBuckets := int((cfg.Duration + cfg.Bucket - 1) / cfg.Bucket)
+	m.timeline = make([]LoadBucket, nBuckets)
+	for i := range m.timeline {
+		m.timeline[i].Start = sim.Time(i) * cfg.Bucket
+	}
+	for _, ev := range cfg.Events {
+		ev := ev
+		k.At(m.measStart+ev.At, ev.Fn)
+	}
+
+	m.scheduleNextArrival(k, mgrs)
+	k.RunUntil(m.measEnd + 20*sim.Millisecond)
+
+	return ClusterLoadResult{
+		TargetRPS:    cfg.TargetRPS,
+		AchievedRPS:  float64(m.completed) / (float64(cfg.Duration) / 1e9),
+		Mean:         m.rec.Mean(),
+		P99:          m.rec.Percentile(99),
+		Completed:    m.completed,
+		Hits:         m.hits,
+		Misses:       m.misses,
+		NetErrs:      m.netErrs,
+		Timeline:     m.timeline,
+		BucketWidth:  cfg.Bucket,
+		MeasuredFrom: m.measStart,
+		Populated:    populated,
+	}
+}
+
+// scheduleNextArrival generates the open-loop Poisson process, spreading
+// submissions round-robin across the client node's cores.
+func (m *clusterLoad) scheduleNextArrival(k *sim.Kernel, mgrs []*event.Manager) {
+	gap := m.arrRng.Exp(1e9 / m.cfg.TargetRPS)
+	k.After(sim.Time(gap), func() {
+		if k.Now() >= m.measEnd {
+			return
+		}
+		keyIdx, isGet := m.work.NextOp()
+		arrival := k.Now()
+		mgr := mgrs[int(arrival/sim.Microsecond)%len(mgrs)]
+		mgr.Spawn(func(c *event.Ctx) {
+			done := func(c *event.Ctx, o OpOutcome) { m.record(c, arrival, isGet, o) }
+			if isGet {
+				m.kv.Get(c, m.work.Keys[keyIdx], done)
+			} else {
+				m.kv.Set(c, m.work.Keys[keyIdx], m.work.newValue(), done)
+			}
+		})
+		m.scheduleNextArrival(k, mgrs)
+	})
+}
+
+// record scores one completion into the timeline bucket it finished in.
+func (m *clusterLoad) record(c *event.Ctx, arrival sim.Time, isGet bool, o OpOutcome) {
+	now := c.Now()
+	if arrival < m.measStart || now > m.measEnd {
+		return
+	}
+	idx := int((now - m.measStart) / m.cfg.Bucket)
+	if idx < 0 || idx >= len(m.timeline) {
+		return
+	}
+	b := &m.timeline[idx]
+	switch {
+	case o.NetErr:
+		m.netErrs++
+		b.NetErrs++
+		return
+	case isGet && o.Miss:
+		m.misses++
+		b.Misses++
+		return
+	}
+	m.completed++
+	b.Completed++
+	if isGet {
+		m.hits++
+		b.Hits++
+	}
+	m.rec.Add(now - arrival)
+}

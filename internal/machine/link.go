@@ -77,9 +77,15 @@ type Switch struct {
 	BitsPerSecond float64
 	// Latency is the store-and-forward switching delay.
 	Latency sim.Time
+	// DropFn, when set, is consulted per ingress frame (with a
+	// monotonically increasing index) and may drop it - the switch-level
+	// analogue of Link.DropFn, for injecting frame loss into multi-node
+	// deployments. Deterministic by construction.
+	DropFn func(index uint64, f Frame) bool
 
-	ports []*switchPort
-	table map[MAC]*switchPort
+	ports      []*switchPort
+	table      map[MAC]*switchPort
+	frameIndex uint64
 }
 
 // NewSwitch creates an empty switch.
@@ -95,6 +101,11 @@ func (s *Switch) Connect(n *NIC) {
 }
 
 func (s *Switch) forward(f Frame, from *switchPort) {
+	idx := s.frameIndex
+	s.frameIndex++
+	if s.DropFn != nil && s.DropFn(idx, f) {
+		return
+	}
 	// Learn the source address.
 	var src MAC
 	r := f.Buf.Reader()

@@ -233,6 +233,63 @@ func TestSwitchLearningAndFlood(t *testing.T) {
 	}
 }
 
+func TestNICDownDropsBothDirections(t *testing.T) {
+	k := sim.NewKernel()
+	ma := testMachine(k, 1)
+	mb := testMachine(k, 1)
+	na := NewNIC(ma, MAC{1})
+	nb := NewNIC(mb, MAC{2})
+	NewLink(k, na, nb)
+
+	// Down NIC transmits nothing.
+	nb.SetUp(false)
+	if nb.Up() {
+		t.Fatal("NIC reports up after SetUp(false)")
+	}
+	nb.Transmit(frameOf(MAC{2}, MAC{1}, 64, 0), 0)
+	k.Run()
+	if na.RxFrames.N != 0 {
+		t.Fatal("frame escaped a down NIC")
+	}
+	// Down NIC receives nothing; the frame vanishes rather than queueing.
+	na.Transmit(frameOf(MAC{1}, MAC{2}, 64, 0), 0)
+	k.Run()
+	if nb.RxFrames.N != 0 || nb.Queues[0].Len() != 0 {
+		t.Fatal("down NIC accepted a frame")
+	}
+	if nb.DroppedFrames.N != 2 {
+		t.Fatalf("dropped %d frames, want 2", nb.DroppedFrames.N)
+	}
+	// Revived NIC passes frames again.
+	nb.SetUp(true)
+	na.Transmit(frameOf(MAC{1}, MAC{2}, 64, 0), 0)
+	k.Run()
+	if nb.RxFrames.N != 1 {
+		t.Fatal("revived NIC did not receive")
+	}
+}
+
+func TestSwitchDropFn(t *testing.T) {
+	k := sim.NewKernel()
+	sw := NewSwitch(k)
+	machines := make([]*Machine, 2)
+	nics := make([]*NIC, 2)
+	for i := range machines {
+		machines[i] = testMachine(k, 1)
+		nics[i] = NewNIC(machines[i], MAC{byte(i + 1)})
+		sw.Connect(nics[i])
+	}
+	// Drop every other frame at ingress.
+	sw.DropFn = func(index uint64, f Frame) bool { return index%2 == 1 }
+	for i := 0; i < 10; i++ {
+		nics[0].Transmit(frameOf(MAC{1}, MAC{2}, 64, 0), 0)
+	}
+	k.Run()
+	if nics[1].RxFrames.N != 5 {
+		t.Fatalf("received %d frames through lossy switch, want 5", nics[1].RxFrames.N)
+	}
+}
+
 func TestVirtualizationCostsAffectLatency(t *testing.T) {
 	oneWay := func(virt bool) sim.Time {
 		k := sim.NewKernel()

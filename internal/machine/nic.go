@@ -106,10 +106,14 @@ type NIC struct {
 	Mac    MAC
 	Queues []*RxQueue
 	peer   Port
+	down   bool
 
 	// Stats
 	TxFrames, RxFrames sim.Counter
 	TxBytes, RxBytes   sim.Counter
+	// DroppedFrames counts frames discarded in either direction while the
+	// NIC was down.
+	DroppedFrames sim.Counter
 }
 
 // NewNIC attaches a NIC with the configured number of receive queues.
@@ -125,6 +129,17 @@ func NewNIC(m *Machine, mac MAC) *NIC {
 // Attach connects the NIC to a port (link endpoint or switch port).
 func (n *NIC) Attach(p Port) { n.peer = p }
 
+// SetUp raises or cuts the NIC's connection to its port. A down NIC
+// silently discards frames in both directions - the machine is
+// unreachable, as after a crash or cable pull - without disturbing any
+// state above it, so peers observe the failure only through timeouts.
+// Bringing the NIC back up resumes delivery; nothing queued during the
+// outage survives it.
+func (n *NIC) SetUp(up bool) { n.down = !up }
+
+// Up reports whether the NIC is passing frames.
+func (n *NIC) Up() bool { return !n.down }
+
 // Transmit sends a frame. extraDelay lets the caller account for CPU time
 // already charged in the current event (the frame leaves when the event's
 // virtual work completes, preserving causality in the one-shot event
@@ -133,6 +148,10 @@ func (n *NIC) Attach(p Port) { n.peer = p }
 func (n *NIC) Transmit(f Frame, extraDelay sim.Time) {
 	if n.peer == nil {
 		panic("machine: NIC transmit with no attached port")
+	}
+	if n.down {
+		n.DroppedFrames.Inc()
+		return
 	}
 	n.TxFrames.Inc()
 	n.TxBytes.AddN(uint64(f.Len()))
@@ -160,6 +179,10 @@ func (n *NIC) TxCPUCost() sim.Time {
 // hypervisor copy both systems pay (paper §4.1.3) - so the receiver's view
 // manipulation never aliases the sender's retransmission buffers.
 func (n *NIC) Deliver(f Frame) {
+	if n.down {
+		n.DroppedFrames.Inc()
+		return
+	}
 	f = Frame{Buf: iobuf.FromBytes(f.Buf.CopyOut()), Hash: f.Hash}
 	costs := &n.M.Cfg.Costs
 	d := costs.RxCopy(f.Len())
