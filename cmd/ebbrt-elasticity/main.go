@@ -1,0 +1,72 @@
+// Command ebbrt-elasticity runs the elasticity experiment: a sharded
+// memcached cluster under the ETC workload with a backend joining
+// mid-run and another decommissioned later. It runs the schedule twice
+// - once with the rebalancer streaming moved key shares, once with the
+// miss-faulting baseline - and prints both, so the hit-rate cost of
+// elasticity (and the migration engine removing it) is visible side by
+// side, along with the time to restore full replication after the
+// decommission.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"ebbrt/internal/experiments"
+	"ebbrt/internal/sim"
+)
+
+func main() {
+	backends := flag.Int("backends", 3, "initial native backend count")
+	replicas := flag.Int("replicas", 1, "replication factor R")
+	cores := flag.Int("cores", 1, "cores per backend")
+	rate := flag.Float64("rate", 30000, "offered load (RPS) through the frontend client Ebb")
+	durMs := flag.Int("duration", 240, "measured window (ms)")
+	joinMs := flag.Int("join", 60, "join offset into the measurement (ms)")
+	decommMs := flag.Int("decommission", 150, "decommission offset (ms), negative = skip")
+	victim := flag.Int("victim", 0, "backend index to decommission")
+	killFirst := flag.Bool("kill-first", false, "kill the victim before decommissioning (permanent loss, not a drain)")
+	keys := flag.Int("keys", 3000, "ETC key population")
+	timeoutMs := flag.Float64("timeout", 4, "client per-replica request timeout (ms)")
+	baselineOnly := flag.Bool("baseline-only", false, "run only the miss-faulting baseline")
+	streamOnly := flag.Bool("stream-only", false, "run only the streamed migration")
+	flag.Parse()
+
+	opt := experiments.ElasticityOptions{
+		Backends:               *backends,
+		Replicas:               *replicas,
+		CoresPerBackend:        *cores,
+		TargetRPS:              *rate,
+		Duration:               sim.Time(*durMs) * sim.Millisecond,
+		JoinAt:                 sim.Time(*joinMs) * sim.Millisecond,
+		DecommissionAt:         sim.Time(*decommMs) * sim.Millisecond,
+		DecommissionBackend:    *victim,
+		KillBeforeDecommission: *killFirst,
+		KeySpace:               *keys,
+		RequestTimeout:         sim.Time(*timeoutMs * float64(sim.Millisecond)),
+	}
+	switch {
+	case *baselineOnly:
+		opt.Stream = false
+		fmt.Print(experiments.FormatElasticity(experiments.Elasticity(opt)))
+	case *streamOnly:
+		opt.Stream = true
+		fmt.Print(experiments.FormatElasticity(experiments.Elasticity(opt)))
+	default:
+		streamed, baseline := experiments.ElasticityCompare(opt)
+		fmt.Print(experiments.FormatElasticity(streamed))
+		fmt.Println()
+		fmt.Print(experiments.FormatElasticity(baseline))
+		fmt.Println()
+		fmt.Printf("post-join hit rate:   %.4f streamed vs %.4f baseline\n",
+			streamed.PostJoinHitRate, baseline.PostJoinHitRate)
+		if opt.DecommissionAt > 0 {
+			fmt.Printf("post-decomm hit rate: %.4f streamed vs %.4f baseline\n",
+				streamed.PostDecommHitRate, baseline.PostDecommHitRate)
+			if streamed.RestoreRTime >= 0 {
+				fmt.Printf("time to restore R:    %.2fms streamed vs never (baseline)\n",
+					float64(streamed.RestoreRTime)/1e6)
+			}
+		}
+	}
+}

@@ -18,20 +18,23 @@ const (
 	MagicResponse = 0x81
 )
 
-// Opcodes used by the mutilate-style workload.
+// Opcodes used by the mutilate-style workload and the migration stream.
 const (
 	OpGet    = 0x00
 	OpSet    = 0x01
+	OpAdd    = 0x02
 	OpDelete = 0x04
 	OpNoop   = 0x0a
 	OpGetQ   = 0x09
 	OpSetQ   = 0x11
+	OpAddQ   = 0x12
 )
 
 // Response status codes.
 const (
 	StatusOK          = 0x0000
 	StatusKeyNotFound = 0x0001
+	StatusKeyExists   = 0x0002
 	StatusUnknownCmd  = 0x0081
 )
 
@@ -109,6 +112,39 @@ func BuildSet(key, value []byte, flags uint32, opaque uint32) []byte {
 	binary.BigEndian.PutUint32(b[HeaderLen+4:], 0)
 	copy(b[HeaderLen+8:], key)
 	copy(b[HeaderLen+8+len(key):], value)
+	return b
+}
+
+// BuildAdd encodes an ADD (store-if-absent) request; quiet selects the
+// AddQ opcode, which suppresses the success response - the migration
+// stream pipelines AddQ and fences with a single Noop rather than
+// reading one response per key.
+func BuildAdd(key, value []byte, flags uint32, opaque uint32, quiet bool) []byte {
+	body := 8 + len(key) + len(value)
+	b := make([]byte, HeaderLen+body)
+	op := byte(OpAdd)
+	if quiet {
+		op = OpAddQ
+	}
+	WriteHeader(b, Header{
+		Magic: MagicRequest, Opcode: op,
+		KeyLen: uint16(len(key)), ExtrasLen: 8,
+		BodyLen: uint32(body), Opaque: opaque,
+	})
+	binary.BigEndian.PutUint32(b[HeaderLen:], flags)
+	binary.BigEndian.PutUint32(b[HeaderLen+4:], 0)
+	copy(b[HeaderLen+8:], key)
+	copy(b[HeaderLen+8+len(key):], value)
+	return b
+}
+
+// BuildNoop encodes a NOOP request. A noop at the tail of a quiet
+// pipeline acts as a fence: its response confirms every earlier request
+// on the connection has been processed (TCP ordering plus the server's
+// in-order handling).
+func BuildNoop(opaque uint32) []byte {
+	b := make([]byte, HeaderLen)
+	WriteHeader(b, Header{Magic: MagicRequest, Opcode: OpNoop, Opaque: opaque})
 	return b
 }
 

@@ -213,6 +213,54 @@ func TestQuietSemantics(t *testing.T) {
 	}
 }
 
+// TestAddSemantics: ADD stores only when absent (KeyExists otherwise);
+// the quiet variant suppresses the success response but still reports
+// the conflict - so a migration stream of AddQs is silent except for
+// keys that lost to a fresher dual-written value, and its Noop fence
+// flushes last.
+func TestAddSemantics(t *testing.T) {
+	protoHarness(t, func(c *event.Ctx) {
+		srv := NewServer(NewRCUStore(), 1)
+		srv.Store.Set("taken", &Entry{Value: []byte("fresh")})
+
+		_, fc := feed(c, srv,
+			BuildAdd([]byte("new"), []byte("v1"), 7, 1, false),   // plain add, absent -> OK
+			BuildAdd([]byte("new"), []byte("v2"), 0, 2, false),   // plain add, present -> KeyExists
+			BuildAdd([]byte("quiet"), []byte("q1"), 0, 3, true),  // quiet add, absent -> silent
+			BuildAdd([]byte("taken"), []byte("old"), 0, 4, true), // quiet add, present -> KeyExists
+			BuildNoop(5),
+		)
+		hdrs, _ := parseResponses(t, fc.out)
+		if len(hdrs) != 4 {
+			t.Fatalf("%d responses, want 4 (ok, exists, exists, noop)", len(hdrs))
+		}
+		want := []struct {
+			opaque uint32
+			status uint16
+		}{
+			{1, StatusOK},
+			{2, StatusKeyExists},
+			{4, StatusKeyExists},
+			{5, StatusOK},
+		}
+		for i, w := range want {
+			if hdrs[i].Opaque != w.opaque || hdrs[i].Status != w.status {
+				t.Errorf("response %d: opaque %d status %#x, want %d/%#x",
+					i, hdrs[i].Opaque, hdrs[i].Status, w.opaque, w.status)
+			}
+		}
+		if e, _ := srv.Store.Get("new"); string(e.Value) != "v1" || e.Flags != 7 {
+			t.Errorf("add stored %q flags %d", e.Value, e.Flags)
+		}
+		if e, _ := srv.Store.Get("taken"); string(e.Value) != "fresh" {
+			t.Errorf("quiet add clobbered existing value: %q", e.Value)
+		}
+		if e, _ := srv.Store.Get("quiet"); e == nil || string(e.Value) != "q1" {
+			t.Error("quiet add did not store into empty slot")
+		}
+	})
+}
+
 func TestQuietSetIsApplied(t *testing.T) {
 	protoHarness(t, func(c *event.Ctx) {
 		srv := NewServer(NewRCUStore(), 1)

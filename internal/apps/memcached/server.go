@@ -124,6 +124,23 @@ func (s *Server) handle(c *event.Ctx, hdr Header, body []byte, resp []byte) []by
 		}
 		return appendResponse(resp, hdr, StatusOK, nil, nil)
 
+	case OpAdd, OpAddQ:
+		var flags uint32
+		if hdr.ExtrasLen >= 4 {
+			flags = binary.BigEndian.Uint32(body)
+		}
+		value := append([]byte(nil), body[keyStart+int(hdr.KeyLen):]...)
+		if !s.Store.Add(key, &Entry{Value: value, Flags: flags}) {
+			// Losing the race to an existing entry is an error response
+			// even for the quiet opcode, as in stock memcached; quiet
+			// suppresses only successes.
+			return appendResponse(resp, hdr, StatusKeyExists, nil, nil)
+		}
+		if hdr.Opcode == OpAddQ {
+			return resp
+		}
+		return appendResponse(resp, hdr, StatusOK, nil, nil)
+
 	case OpDelete:
 		if s.Store.Delete(key) {
 			return appendResponse(resp, hdr, StatusOK, nil, nil)

@@ -19,8 +19,21 @@ type Entry struct {
 type Store interface {
 	Get(key string) (*Entry, bool)
 	Set(key string, e *Entry)
+	// Add stores the entry only if the key is absent, reporting whether it
+	// was stored. The migration stream applies transferred entries with Add
+	// so a fresher value dual-written during handoff is never clobbered by
+	// the source's older snapshot.
+	Add(key string, e *Entry) bool
 	Delete(key string) bool
 	Len() int
+	// Scan invokes fn over a point-in-time snapshot of the store taken
+	// when Scan is called: concurrent Sets and Deletes affect neither the
+	// visited set nor its values, and fn may itself mutate the store. A
+	// false return stops the scan. This is what the migrator iterates to
+	// stream a key range to a new owner.
+	Scan(fn func(key string, e *Entry) bool)
+	// Keys returns the keys of a point-in-time snapshot.
+	Keys() []string
 	// OpCost reports the extra virtual CPU charged per operation when
 	// invoked with the given number of actively serving cores (models
 	// synchronization cost the structure imposes).
@@ -48,11 +61,50 @@ func (s *RCUStore) Get(key string) (*Entry, bool) { return s.t.Get(key) }
 // Set implements Store.
 func (s *RCUStore) Set(key string, e *Entry) { s.t.Put(key, e) }
 
+// Add implements Store.
+func (s *RCUStore) Add(key string, e *Entry) bool { return s.t.PutIfAbsent(key, e) }
+
 // Delete implements Store.
 func (s *RCUStore) Delete(key string) bool { return s.t.Delete(key) }
 
 // Len implements Store.
 func (s *RCUStore) Len() int { return s.t.Len() }
+
+// Scan implements Store: the snapshot is collected under the table's
+// writer lock (one consistent point in time), then fn runs lock-free so
+// it may Set/Delete without deadlocking.
+func (s *RCUStore) Scan(fn func(key string, e *Entry) bool) {
+	snap := snapshotTable(s.t)
+	for _, kv := range snap {
+		if !fn(kv.k, kv.v) {
+			return
+		}
+	}
+}
+
+// Keys implements Store.
+func (s *RCUStore) Keys() []string {
+	snap := snapshotTable(s.t)
+	keys := make([]string, len(snap))
+	for i, kv := range snap {
+		keys[i] = kv.k
+	}
+	return keys
+}
+
+type storePair struct {
+	k string
+	v *Entry
+}
+
+func snapshotTable(t *rcu.Table[string, *Entry]) []storePair {
+	snap := make([]storePair, 0, t.Len())
+	t.ForEach(func(k string, v *Entry) bool {
+		snap = append(snap, storePair{k: k, v: v})
+		return true
+	})
+	return snap
+}
 
 // OpCost implements Store: hash plus unsynchronized traversal.
 func (s *RCUStore) OpCost(activeCores int) sim.Time { return 60 * sim.Nanosecond }
@@ -86,6 +138,17 @@ func (s *LockedStore) Set(key string, e *Entry) {
 	s.m[key] = e
 }
 
+// Add implements Store.
+func (s *LockedStore) Add(key string, e *Entry) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.m[key]; ok {
+		return false
+	}
+	s.m[key] = e
+	return true
+}
+
 // Delete implements Store.
 func (s *LockedStore) Delete(key string) bool {
 	s.mu.Lock()
@@ -100,6 +163,33 @@ func (s *LockedStore) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.m)
+}
+
+// Scan implements Store: the snapshot is copied out under the lock, then
+// fn runs unlocked so it may mutate the store.
+func (s *LockedStore) Scan(fn func(key string, e *Entry) bool) {
+	s.mu.Lock()
+	snap := make([]storePair, 0, len(s.m))
+	for k, v := range s.m {
+		snap = append(snap, storePair{k: k, v: v})
+	}
+	s.mu.Unlock()
+	for _, kv := range snap {
+		if !fn(kv.k, kv.v) {
+			return
+		}
+	}
+}
+
+// Keys implements Store.
+func (s *LockedStore) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.m))
+	for k := range s.m {
+		keys = append(keys, k)
+	}
+	return keys
 }
 
 // OpCost implements Store: an uncontended atomic plus contention that

@@ -1,0 +1,193 @@
+package memcached
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func stores() map[string]func() Store {
+	return map[string]func() Store{
+		"rcu":    func() Store { return NewRCUStore() },
+		"locked": func() Store { return NewLockedStore() },
+	}
+}
+
+// TestScanSnapshotIsolation: a Scan sees exactly the store as it was
+// when the scan started - mutations made from inside the scan callback
+// (or, equivalently, concurrently) affect neither the visited set nor
+// the visited values, and a key deleted before the scan never appears.
+func TestScanSnapshotIsolation(t *testing.T) {
+	for name, mk := range stores() {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			const n = 200
+			for i := 0; i < n; i++ {
+				s.Set(fmt.Sprintf("stable-%d", i), &Entry{Value: []byte("v")})
+				s.Set(fmt.Sprintf("doomed-%d", i), &Entry{Value: []byte("d")})
+			}
+			for i := 0; i < n; i++ {
+				s.Delete(fmt.Sprintf("doomed-%d", i))
+			}
+
+			seen := map[string]int{}
+			i := 0
+			s.Scan(func(key string, e *Entry) bool {
+				seen[key]++
+				// Mutate mid-scan: new inserts, and deletion of a key the
+				// snapshot already contains.
+				s.Set(fmt.Sprintf("mid-scan-%d", i), &Entry{Value: []byte("m")})
+				s.Delete(fmt.Sprintf("stable-%d", (i+1)%n))
+				i++
+				return true
+			})
+
+			if len(seen) != n {
+				t.Fatalf("scan yielded %d keys, want the %d-key snapshot", len(seen), n)
+			}
+			for k, c := range seen {
+				if c != 1 {
+					t.Errorf("key %q yielded %d times", k, c)
+				}
+				if len(k) < 7 || k[:7] != "stable-" {
+					t.Errorf("scan yielded %q: deleted-before-scan or inserted-mid-scan key", k)
+				}
+			}
+		})
+	}
+}
+
+// TestScanStopsEarly: a false return ends the scan.
+func TestScanStopsEarly(t *testing.T) {
+	for name, mk := range stores() {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			for i := 0; i < 50; i++ {
+				s.Set(fmt.Sprintf("k-%d", i), &Entry{})
+			}
+			visited := 0
+			s.Scan(func(string, *Entry) bool {
+				visited++
+				return visited < 10
+			})
+			if visited != 10 {
+				t.Fatalf("visited %d entries after stopping at 10", visited)
+			}
+		})
+	}
+}
+
+// TestKeysSnapshot: Keys matches the store contents at the call.
+func TestKeysSnapshot(t *testing.T) {
+	for name, mk := range stores() {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			want := map[string]bool{}
+			for i := 0; i < 64; i++ {
+				k := fmt.Sprintf("k-%d", i)
+				s.Set(k, &Entry{})
+				want[k] = true
+			}
+			s.Set("gone", &Entry{})
+			s.Delete("gone")
+			keys := s.Keys()
+			if len(keys) != len(want) {
+				t.Fatalf("Keys returned %d keys, want %d", len(keys), len(want))
+			}
+			for _, k := range keys {
+				if !want[k] {
+					t.Errorf("Keys returned unexpected %q", k)
+				}
+			}
+		})
+	}
+}
+
+// TestScanUnderConcurrentMutation hammers the store from writer
+// goroutines while scanning: the scan must never panic, must always
+// yield every key written-and-never-deleted before it started, and must
+// never yield a key deleted before it started. Run under -race in CI,
+// this is also the store's concurrency-safety check for the migration
+// path (a source streams its snapshot while serving writes).
+func TestScanUnderConcurrentMutation(t *testing.T) {
+	for name, mk := range stores() {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			const stable = 300
+			for i := 0; i < stable; i++ {
+				s.Set(fmt.Sprintf("stable-%d", i), &Entry{Value: []byte("v")})
+				s.Set(fmt.Sprintf("doomed-%d", i), &Entry{Value: []byte("d")})
+			}
+			for i := 0; i < stable; i++ {
+				s.Delete(fmt.Sprintf("doomed-%d", i))
+			}
+
+			var stop atomic.Bool
+			var wg sync.WaitGroup
+			for w := 0; w < 4; w++ {
+				w := w
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; !stop.Load(); i++ {
+						k := fmt.Sprintf("volatile-%d-%d", w, i%128)
+						s.Set(k, &Entry{Value: []byte("x")})
+						if i%3 == 0 {
+							s.Delete(k)
+						}
+						if _, ok := s.Get(fmt.Sprintf("stable-%d", i%stable)); !ok {
+							t.Errorf("stable key vanished under concurrent scan")
+							return
+						}
+					}
+				}()
+			}
+
+			for round := 0; round < 20; round++ {
+				got := map[string]bool{}
+				s.Scan(func(key string, e *Entry) bool {
+					if len(key) >= 7 && key[:7] == "doomed-" {
+						t.Fatalf("scan yielded %q, deleted before the scan", key)
+					}
+					got[key] = true
+					return true
+				})
+				for i := 0; i < stable; i++ {
+					if k := fmt.Sprintf("stable-%d", i); !got[k] {
+						t.Fatalf("round %d: scan missed pre-existing key %q", round, k)
+					}
+				}
+			}
+			stop.Store(true)
+			wg.Wait()
+		})
+	}
+}
+
+// TestAddIfAbsent: Add stores only when the key is absent and reports
+// which happened - the semantics the migration stream relies on to
+// never clobber a dual-written fresher value.
+func TestAddIfAbsent(t *testing.T) {
+	for name, mk := range stores() {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			if !s.Add("k", &Entry{Value: []byte("old")}) {
+				t.Fatal("Add to empty store did not insert")
+			}
+			if s.Add("k", &Entry{Value: []byte("stale")}) {
+				t.Fatal("Add over an existing key reported insertion")
+			}
+			if e, _ := s.Get("k"); string(e.Value) != "old" {
+				t.Fatalf("Add overwrote existing value: %q", e.Value)
+			}
+			s.Delete("k")
+			if !s.Add("k", &Entry{Value: []byte("new")}) {
+				t.Fatal("Add after delete did not insert")
+			}
+			if s.Len() != 1 {
+				t.Fatalf("Len %d after add/delete/add", s.Len())
+			}
+		})
+	}
+}

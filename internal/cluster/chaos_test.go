@@ -71,6 +71,211 @@ func TestChaosSchedules(t *testing.T) {
 	}
 }
 
+// TestMigrationChaosSourceKill kills a backend that is actively
+// sourcing a migration stream. The migrator must restart the affected
+// transfers from a surviving replica and complete; throughout, no get
+// of a durably written key may report a miss and no acked write may be
+// lost.
+func TestMigrationChaosSourceKill(t *testing.T) {
+	cl := NewCluster(4, Options{Replicas: 2})
+	front := cl.Sys.Frontend()
+	cli := NewClientWithOptions(cl, front, ClientOptions{RequestTimeout: 8 * sim.Millisecond})
+	// Slow the stream down (per-entry CPU) so the kill lands mid-transfer.
+	m := NewMigrator(cl, front, MigratorConfig{
+		PerEntryCPU: 30 * sim.Microsecond,
+		JobTimeout:  15 * sim.Millisecond,
+	})
+	k := cl.Sys.K
+
+	const nKeys = 600
+	keys := make([][]byte, nKeys)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("mig-src-%d-%d", i, i*2654435761))
+	}
+	populateChaos(t, cl, cli, keys)
+
+	joinAt := k.Now() + 2*sim.Millisecond
+	victim := -1
+	k.At(joinAt, func() { m.Join(1) })
+	k.At(joinAt+1*sim.Millisecond, func() {
+		if m.cur == nil {
+			t.Fatal("migration already finished before the kill - stream too fast for the test")
+		}
+		// Kill a source of a still-unfinished transfer.
+		for j, job := range m.cur.jobs {
+			if !m.cur.done[j] {
+				victim = job.sources[0]
+				break
+			}
+		}
+		if victim < 0 {
+			t.Fatal("no unfinished job to sabotage")
+		}
+		cl.Backends[victim].Node.Kill()
+	})
+	// The health monitor would evict the dead source ~15ms later.
+	k.At(joinAt+8*sim.Millisecond, func() {
+		if victim >= 0 {
+			cl.EvictBackend(victim)
+		}
+	})
+
+	falseMisses, durable := pumpChaosLoad(t, cl, cli, keys, joinAt, joinAt+120*sim.Millisecond)
+	mig := waitMigration(t, cl, m, 300*sim.Millisecond)
+	if mig.Aborted {
+		t.Fatal("migration aborted instead of restarting from a surviving replica")
+	}
+	if mig.Lost != 0 {
+		t.Fatalf("%d ranges lost despite surviving replicas", mig.Lost)
+	}
+	if *falseMisses != 0 {
+		t.Errorf("%d false misses during source-kill migration", *falseMisses)
+	}
+	verifyDurable(t, cl, cli, keys, durable)
+}
+
+// TestMigrationChaosDestKill kills the joining backend mid-stream. The
+// migrator must abort once the destination is evicted, the handoff
+// window must close, and - as ever - no durable key may read as a miss
+// and no acked write may be lost.
+func TestMigrationChaosDestKill(t *testing.T) {
+	cl := NewCluster(4, Options{Replicas: 2})
+	front := cl.Sys.Frontend()
+	cli := NewClientWithOptions(cl, front, ClientOptions{RequestTimeout: 8 * sim.Millisecond})
+	m := NewMigrator(cl, front, MigratorConfig{
+		PerEntryCPU: 30 * sim.Microsecond,
+		JobTimeout:  15 * sim.Millisecond,
+	})
+	k := cl.Sys.K
+
+	const nKeys = 600
+	keys := make([][]byte, nKeys)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("mig-dst-%d-%d", i, i*2654435761))
+	}
+	populateChaos(t, cl, cli, keys)
+
+	joinAt := k.Now() + 2*sim.Millisecond
+	k.At(joinAt, func() { m.Join(1) })
+	dest := -1
+	k.At(joinAt+1*sim.Millisecond, func() {
+		if m.cur == nil {
+			t.Fatal("migration already finished before the kill - stream too fast for the test")
+		}
+		dest = len(cl.Backends) - 1
+		cl.Backends[dest].Node.Kill()
+	})
+	// Eviction of the dead newcomer (the monitor's job) aborts the
+	// migration and restores write availability for its ranges.
+	k.At(joinAt+8*sim.Millisecond, func() {
+		if dest >= 0 {
+			cl.EvictBackend(dest)
+		}
+	})
+
+	falseMisses, durable := pumpChaosLoad(t, cl, cli, keys, joinAt, joinAt+120*sim.Millisecond)
+	mig := waitMigration(t, cl, m, 300*sim.Millisecond)
+	if !mig.Aborted {
+		t.Fatal("migration to a dead destination did not abort")
+	}
+	if cl.Migrating() {
+		t.Fatal("handoff window still open after abort")
+	}
+	if *falseMisses != 0 {
+		t.Errorf("%d false misses during dest-kill migration", *falseMisses)
+	}
+	verifyDurable(t, cl, cli, keys, durable)
+
+	// The cluster is whole again: writes reach quorum on the old ring.
+	acked := 0
+	front.Spawn(func(c *event.Ctx) {
+		for i := 0; i < 32; i++ {
+			cli.Set(c, []byte(fmt.Sprintf("post-abort-%d", i)), []byte("w"), 0, func(c *event.Ctx, r Response) {
+				if r.OK() {
+					acked++
+				}
+			})
+		}
+	})
+	k.RunUntil(k.Now() + 20*sim.Millisecond)
+	if acked != 32 {
+		t.Fatalf("only %d of 32 writes acked after the aborted join", acked)
+	}
+}
+
+// populateChaos quorum-writes the key population, failing on any nack.
+func populateChaos(t *testing.T, cl *Cluster, cli *Client, keys [][]byte) {
+	t.Helper()
+	acked := 0
+	cl.Sys.Frontend().Spawn(func(c *event.Ctx) {
+		for i, key := range keys {
+			cli.Set(c, key, []byte(fmt.Sprintf("v0-%d", i)), 0, func(c *event.Ctx, r Response) {
+				if r.OK() {
+					acked++
+				}
+			})
+		}
+	})
+	cl.Sys.K.RunUntil(cl.Sys.K.Now() + 30*sim.Millisecond)
+	if acked != len(keys) {
+		t.Fatalf("populate: %d of %d quorum writes acked", acked, len(keys))
+	}
+}
+
+// pumpChaosLoad drives mixed load from `from` to `to` and runs the
+// kernel through it: gets of the durable population (counting false
+// misses) plus fresh writes whose acks are recorded in the returned
+// durable map.
+func pumpChaosLoad(t *testing.T, cl *Cluster, cli *Client, keys [][]byte, from, to sim.Time) (*int, map[string][]byte) {
+	t.Helper()
+	falseMisses := new(int)
+	durable := map[string][]byte{}
+	mgr := cl.Sys.Frontend().Runtime.Mgrs()[0]
+	seq := 0
+	var pump func(c *event.Ctx)
+	pump = func(c *event.Ctx) {
+		if c.Now() >= to {
+			return
+		}
+		seq++
+		cli.Get(c, keys[seq%len(keys)], func(c *event.Ctx, r Response) {
+			if !r.OK() && !r.NetworkError() {
+				*falseMisses++
+			}
+		})
+		if seq%10 == 0 {
+			wkey := []byte(fmt.Sprintf("mig-new-%d", seq))
+			wval := []byte(fmt.Sprintf("nv-%d", seq))
+			cli.Set(c, wkey, wval, 0, func(c *event.Ctx, r Response) {
+				if r.OK() {
+					durable[string(wkey)] = wval
+				}
+			})
+		}
+		mgr.After(200*sim.Microsecond, pump)
+	}
+	cl.Sys.K.At(from, func() { mgr.Spawn(pump) })
+	cl.Sys.K.RunUntil(to + 40*sim.Millisecond)
+	return falseMisses, durable
+}
+
+// verifyDurable reads the population plus every mid-chaos acked write
+// and requires all of them served.
+func verifyDurable(t *testing.T, cl *Cluster, cli *Client, keys [][]byte, durable map[string][]byte) {
+	t.Helper()
+	all := append([][]byte(nil), keys...)
+	for key := range durable {
+		all = append(all, []byte(key))
+	}
+	ok, miss, netErr := readAll(cl, cli, all)
+	if ok != len(all) || miss != 0 || netErr != 0 {
+		t.Errorf("durability: %d/%d keys verified, %d misses, %d network errors", ok, len(all), miss, netErr)
+	}
+	if len(durable) == 0 {
+		t.Error("no writes acked during the chaos window - durability check vacuous")
+	}
+}
+
 func runChaos(t *testing.T, backends, replicas int, steps []chaosStep, wantZeroSetFails bool) {
 	cl := NewCluster(backends, Options{Replicas: replicas})
 	front := cl.Sys.Frontend()

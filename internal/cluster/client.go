@@ -117,9 +117,12 @@ func (cli *Client) Id() core.Id { return cli.ref.Id() }
 // Get fetches key, trying each replica in successor order: network
 // errors and genuine misses both fall through to the next replica, so a
 // key served by any live replica is found. When a later replica serves
-// the read, replicas that missed it are repaired asynchronously.
+// the read, replicas that missed it are repaired asynchronously. During
+// a migration handoff the read set for a still-moving range is the old
+// owners followed by the new ones, so the key is served wherever it
+// currently lives.
 func (cli *Client) Get(c *event.Ctx, key []byte, cb Callback) {
-	cli.getFrom(c, key, cli.cl.ReplicaSet(key), 0, nil, cb)
+	cli.getFrom(c, key, cli.cl.ReadSet(key), 0, nil, cb)
 }
 
 func (cli *Client) getFrom(c *event.Ctx, key []byte, reps []int, i int, missed []int, cb Callback) {
@@ -164,31 +167,41 @@ func (cli *Client) readRepair(c *event.Ctx, key []byte, missed []int, r Response
 // quorum (a majority of the replica set) has acknowledged. A write that
 // cannot reach quorum reports StatusNetworkError; it may still have
 // landed on a minority of replicas - the usual leaderless-write
-// semantics, converged by read repair.
+// semantics, converged by read repair. During a migration handoff the
+// write is delivered to the union of old and new owners but the quorum
+// is counted over the new owners, so an acked write is guaranteed to
+// survive the range's cutover.
 func (cli *Client) Set(c *event.Ctx, key, value []byte, flags uint32, cb Callback) {
-	reps := cli.cl.ReplicaSet(key)
-	q := newQuorumCall(len(reps), cb)
-	for _, backend := range reps {
-		cli.rep(c).submit(c, backend, func(opaque uint32) []byte {
-			return memcached.BuildSet(key, value, flags, opaque)
-		}, func(c *event.Ctx, r Response) {
-			q.add(c, r, r.OK())
-		})
-	}
+	cli.cl.noteSet(key)
+	cli.quorumWrite(c, key, cb, func(opaque uint32) []byte {
+		return memcached.BuildSet(key, value, flags, opaque)
+	}, func(r Response) bool { return r.OK() })
 }
 
 // Delete removes key from every replica, acking on quorum. A replica
 // that never held the key counts as acknowledged - absence is the state
-// the operation establishes.
+// the operation establishes. A delete landing inside a still-migrating
+// range is additionally recorded so the migrator scrubs any copy the
+// in-flight stream's pre-delete snapshot resurrects at the destination.
 func (cli *Client) Delete(c *event.Ctx, key []byte, cb Callback) {
-	reps := cli.cl.ReplicaSet(key)
-	q := newQuorumCall(len(reps), cb)
-	for _, backend := range reps {
-		cli.rep(c).submit(c, backend, func(opaque uint32) []byte {
-			return memcached.BuildDelete(key, opaque)
-		}, func(c *event.Ctx, r Response) {
-			q.add(c, r, r.OK() || r.Status == memcached.StatusKeyNotFound)
-		})
+	cli.cl.noteDelete(key)
+	cli.quorumWrite(c, key, cb, func(opaque uint32) []byte {
+		return memcached.BuildDelete(key, opaque)
+	}, func(r Response) bool { return r.OK() || r.Status == memcached.StatusKeyNotFound })
+}
+
+// quorumWrite fans a write out per the cluster's write plan: every
+// target receives it, only quorum members' acknowledgments decide the
+// outcome.
+func (cli *Client) quorumWrite(c *event.Ctx, key []byte, cb Callback, build func(opaque uint32) []byte, acked func(Response) bool) {
+	targets, quorum := cli.cl.WritePlan(key)
+	q := newQuorumCall(len(quorum), cb)
+	for _, backend := range targets {
+		var done Callback
+		if containsBackend(quorum, backend) {
+			done = func(c *event.Ctx, r Response) { q.add(c, r, acked(r)) }
+		}
+		cli.rep(c).submit(c, backend, build, done)
 	}
 }
 
@@ -259,7 +272,7 @@ type backendPool struct {
 
 // submit routes one request onto a pooled connection.
 func (r *clientRep) submit(c *event.Ctx, backend int, build func(opaque uint32) []byte, cb Callback) {
-	if !r.cli.cl.Live(backend) {
+	if !r.cli.cl.Servable(backend) {
 		// The backend was evicted after this operation's replica set was
 		// computed. Fail fast so the caller's failover moves on, rather
 		// than re-dialing a dead node (which, with timeouts disabled,

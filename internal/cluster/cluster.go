@@ -40,8 +40,39 @@ type Cluster struct {
 	// primary and fail over along the successor list.
 	Replicas int
 
-	down     []bool // per backend: evicted from the ring
-	watchers []func(backend int, up bool)
+	down           []bool // per backend: evicted from the ring
+	draining       []bool // off the ring but still serving its old share (live decommission)
+	decommissioned []bool // permanently removed; never restored by the monitor
+	watchers       []func(backend int, up bool)
+
+	// handoff, when non-nil, is an in-progress migration: reads and
+	// writes for keys inside a still-pending moved range are dual-routed
+	// across the old and new owner sets until the migrator cuts the
+	// range over.
+	handoff *handoffState
+}
+
+// handoffState is the dual-routing window of one migration: the ring as
+// it was before the membership change, plus the moved ranges that have
+// not yet been streamed to their new owners.
+type handoffState struct {
+	prev    *Ring
+	pending []MoveRange
+	// deleted records keys quorum-deleted while inside a pending moved
+	// range. The migration stream carries a snapshot taken before those
+	// deletes, so its add-if-absent application would resurrect them at
+	// the destination; the migrator scrubs this set there after the
+	// stream lands, before cutting the range over.
+	deleted map[string]bool
+}
+
+func (ho *handoffState) covers(h uint64) bool {
+	for _, r := range ho.pending {
+		if r.Contains(h) {
+			return true
+		}
+	}
+	return false
 }
 
 // New boots a deployment with the given number of single-shard native
@@ -77,8 +108,9 @@ func NewCluster(backends int, opt Options) *Cluster {
 // AddBackend boots one more native node, starts its memcached shard, and
 // joins it to the ring. Keys that hash onto the new backend's points
 // migrate to it; the consistent ring keeps that share bounded near
-// 1/(n+1) of the keyspace (no store handoff is performed - as with real
-// memcached, migrated keys fault in as cache misses).
+// 1/(n+1) of the keyspace. No store handoff is performed - as with real
+// memcached, migrated keys fault in as cache misses. Migrator.Join is
+// the streamed alternative that keeps the cache warm through the join.
 func (cl *Cluster) AddBackend(cores int) *Backend {
 	node := cl.Sys.AddNativeNode(cores)
 	srv := memcached.NewServer(memcached.NewRCUStore(), cores)
@@ -88,6 +120,8 @@ func (cl *Cluster) AddBackend(cores int) *Backend {
 	b := &Backend{Node: node, Srv: srv}
 	cl.Backends = append(cl.Backends, b)
 	cl.down = append(cl.down, false)
+	cl.draining = append(cl.draining, false)
+	cl.decommissioned = append(cl.decommissioned, false)
 	cl.Ring.Add(len(cl.Backends) - 1)
 	return b
 }
@@ -124,9 +158,10 @@ func (cl *Cluster) EvictBackend(i int) {
 // RestoreBackend re-adds an evicted backend to the ring. Its store
 // resumes serving whatever it held before the failure; keys written
 // while it was out fault in from the surviving replicas via the
-// client's read fall-through. Restoration is idempotent.
+// client's read fall-through. Restoration is idempotent; a
+// decommissioned backend is never restored.
 func (cl *Cluster) RestoreBackend(i int) {
-	if !cl.down[i] {
+	if !cl.down[i] || cl.decommissioned[i] {
 		return
 	}
 	cl.down[i] = false
@@ -138,6 +173,15 @@ func (cl *Cluster) RestoreBackend(i int) {
 
 // Live reports whether backend i is on the ring.
 func (cl *Cluster) Live(i int) bool { return !cl.down[i] }
+
+// Decommissioned reports whether backend i has been permanently removed.
+func (cl *Cluster) Decommissioned(i int) bool { return cl.decommissioned[i] }
+
+// Servable reports whether the client may still submit operations to
+// backend i: everything on the ring, plus a draining backend - off the
+// ring but serving its old key share until the migrator finishes
+// streaming it away.
+func (cl *Cluster) Servable(i int) bool { return !cl.down[i] || cl.draining[i] }
 
 // LiveBackends counts backends currently on the ring.
 func (cl *Cluster) LiveBackends() int {
@@ -159,6 +203,200 @@ func (cl *Cluster) Route(key []byte) *Backend {
 // shrinks below R only when fewer than R backends remain on the ring.
 func (cl *Cluster) ReplicaSet(key []byte) []int {
 	return cl.Ring.LookupN(key, cl.Replicas)
+}
+
+// ReadSet returns the backends a read should try, in preference order.
+// Outside a handoff it is the replica set. For a key inside a pending
+// moved range it is the old owners (who certainly hold warm data)
+// followed by the new owners, deduplicated - the read falls through
+// old to new, so the key is served wherever it currently lives.
+func (cl *Cluster) ReadSet(key []byte) []int {
+	h := ringHash(key)
+	if ho := cl.handoff; ho != nil && ho.covers(h) {
+		return dedupBackends(ho.prev.OwnersAt(h, cl.Replicas), cl.Ring.OwnersAt(h, cl.Replicas))
+	}
+	return cl.Ring.LookupN(key, cl.Replicas)
+}
+
+// WritePlan returns the backends a write must be delivered to, plus the
+// subset whose acknowledgments count toward the quorum. Outside a
+// handoff both are the replica set. During handoff a write in a pending
+// moved range is delivered to the union of old and new owners, but the
+// quorum is counted over the NEW owners only: an acked write is then
+// guaranteed to survive the cutover (a majority of the future replica
+// set holds it), while the old owners receive it best-effort so
+// pre-cutover reads - which try them first - stay fresh.
+func (cl *Cluster) WritePlan(key []byte) (targets, quorum []int) {
+	h := ringHash(key)
+	if ho := cl.handoff; ho != nil && ho.covers(h) {
+		cur := cl.Ring.OwnersAt(h, cl.Replicas)
+		return dedupBackends(cur, ho.prev.OwnersAt(h, cl.Replicas)), cur
+	}
+	reps := cl.Ring.LookupN(key, cl.Replicas)
+	return reps, reps
+}
+
+// Migrating reports whether a handoff window is open.
+func (cl *Cluster) Migrating() bool { return cl.handoff != nil }
+
+// beginHandoff opens the dual-routing window for a migration.
+func (cl *Cluster) beginHandoff(prev *Ring, plan []MoveRange) {
+	cl.handoff = &handoffState{
+		prev:    prev,
+		pending: append([]MoveRange(nil), plan...),
+		deleted: map[string]bool{},
+	}
+}
+
+// noteDelete records a delete issued during the handoff window for a
+// key still inside a pending moved range, so the migrator can scrub a
+// resurrected pre-delete snapshot copy at the destination.
+func (cl *Cluster) noteDelete(key []byte) {
+	if ho := cl.handoff; ho != nil && ho.covers(ringHash(key)) {
+		ho.deleted[string(key)] = true
+	}
+}
+
+// noteSet clears a recorded delete: the key was re-created, and
+// scrubbing it now would undo the newer write.
+func (cl *Cluster) noteSet(key []byte) {
+	if ho := cl.handoff; ho != nil && len(ho.deleted) > 0 {
+		delete(ho.deleted, string(key))
+	}
+}
+
+// peekDeleted returns the recorded deletes falling inside the given
+// ranges, without consuming them - the scrub clears them only once it
+// has verifiably applied at the destination.
+func (cl *Cluster) peekDeleted(ranges []MoveRange) [][]byte {
+	ho := cl.handoff
+	if ho == nil || len(ho.deleted) == 0 {
+		return nil
+	}
+	var out [][]byte
+	for k := range ho.deleted {
+		h := ringHash([]byte(k))
+		for _, r := range ranges {
+			if r.Contains(h) {
+				out = append(out, []byte(k))
+				break
+			}
+		}
+	}
+	return out
+}
+
+// clearDeleted drops recorded deletes that have been scrubbed.
+func (cl *Cluster) clearDeleted(keys [][]byte) {
+	if ho := cl.handoff; ho != nil {
+		for _, k := range keys {
+			delete(ho.deleted, string(k))
+		}
+	}
+}
+
+// completeRange cuts one moved range over: keys inside it now route
+// purely by the live ring.
+func (cl *Cluster) completeRange(r MoveRange) {
+	ho := cl.handoff
+	if ho == nil {
+		return
+	}
+	keep := ho.pending[:0]
+	for _, p := range ho.pending {
+		if p.Lo != r.Lo || p.Hi != r.Hi || p.Dest != r.Dest {
+			keep = append(keep, p)
+		}
+	}
+	ho.pending = keep
+}
+
+// endHandoff closes the dual-routing window.
+func (cl *Cluster) endHandoff() { cl.handoff = nil }
+
+// startDrain begins a live decommission: backend i leaves the ring (new
+// placement no longer includes it) but keeps serving its old share
+// until the migrator finishes streaming it to the new owners. The
+// backend is marked decommissioned immediately so the health monitor
+// never restores it.
+func (cl *Cluster) startDrain(i int) {
+	cl.decommissioned[i] = true
+	cl.draining[i] = true
+	cl.Ring.Remove(i)
+}
+
+// finishDrain completes a decommission: the backend stops serving and
+// clients tear down their pools to it.
+func (cl *Cluster) finishDrain(i int) {
+	cl.draining[i] = false
+	if !cl.down[i] {
+		cl.down[i] = true
+		for _, fn := range cl.watchers {
+			fn(i, false)
+		}
+	}
+}
+
+// cancelDrain aborts a live decommission, returning the backend to
+// full membership.
+func (cl *Cluster) cancelDrain(i int) {
+	cl.draining[i] = false
+	cl.decommissioned[i] = false
+	if !cl.down[i] {
+		cl.Ring.Add(i)
+	}
+}
+
+// markDecommissioned records the permanent removal of an
+// already-evicted backend (a dead node being re-replicated around).
+func (cl *Cluster) markDecommissioned(i int) {
+	cl.decommissioned[i] = true
+	if !cl.down[i] {
+		cl.down[i] = true
+		cl.Ring.Remove(i)
+		for _, fn := range cl.watchers {
+			fn(i, false)
+		}
+	}
+}
+
+// LiveHolders counts the live, reachable backends whose store currently
+// holds key - the key's actual replica count, as distinct from the
+// ring's intended one. It peeks at the stores directly (a simulation-
+// level introspection for experiments and tests, not a data-path
+// operation).
+func (cl *Cluster) LiveHolders(key []byte) int {
+	n := 0
+	for i, b := range cl.Backends {
+		if !cl.Live(i) || !b.Node.Alive() {
+			continue
+		}
+		if _, ok := b.Srv.Store.Get(string(key)); ok {
+			n++
+		}
+	}
+	return n
+}
+
+// dedupBackends concatenates the given backend lists preserving first
+// occurrence order.
+func dedupBackends(lists ...[]int) []int {
+	var out []int
+	for _, list := range lists {
+		for _, b := range list {
+			dup := false
+			for _, seen := range out {
+				if seen == b {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				out = append(out, b)
+			}
+		}
+	}
+	return out
 }
 
 // TotalRequests sums operations served across all shards.

@@ -151,7 +151,10 @@ func (h *HealthMonitor) tick(c *event.Ctx, mgr *event.Manager) {
 		if h.cl.Live(i) && st.misses >= h.cfg.FailureThreshold && h.cl.LiveBackends() > 1 {
 			h.EvictedAt[i] = c.Now()
 			h.cl.EvictBackend(i)
-		} else if !h.cl.Live(i) && st.streak >= h.cfg.ReviveThreshold {
+		} else if !h.cl.Live(i) && st.streak >= h.cfg.ReviveThreshold && !h.cl.Decommissioned(i) {
+			// A decommissioned backend answering pings (a live drain, or a
+			// dead node that came back after being re-replicated around) is
+			// never restored - its key share has moved on.
 			h.RestoredAt[i] = c.Now()
 			h.cl.RestoreBackend(i)
 		}

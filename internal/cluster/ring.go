@@ -22,6 +22,7 @@ import (
 type Ring struct {
 	vnodes int
 	points []ringPoint // sorted by hash
+	epoch  uint64      // bumped on every membership change
 }
 
 type ringPoint struct {
@@ -80,6 +81,7 @@ func vnodeHash(backend, replica int) uint64 {
 // the keys that land on b's new points - roughly a 1/(n+1) share -
 // which is the consistent-hashing migration bound the tests assert.
 func (r *Ring) Add(backend int) {
+	r.epoch++
 	for i := 0; i < r.vnodes; i++ {
 		r.points = append(r.points, ringPoint{hash: vnodeHash(backend, i), backend: backend})
 	}
@@ -94,6 +96,7 @@ func (r *Ring) Add(backend int) {
 // Remove deletes a backend's points; its keys redistribute to the ring
 // successors.
 func (r *Ring) Remove(backend int) {
+	r.epoch++
 	keep := r.points[:0]
 	for _, p := range r.points {
 		if p.backend != backend {
@@ -105,6 +108,24 @@ func (r *Ring) Remove(backend int) {
 
 // Size reports the number of virtual points currently placed.
 func (r *Ring) Size() int { return len(r.points) }
+
+// Epoch reports the ring's membership version: every Add or Remove bumps
+// it, so two placement decisions made at different epochs are known to
+// have used (possibly) different rings. The migrator stamps each
+// migration with the epoch whose diff it is streaming.
+func (r *Ring) Epoch() uint64 { return r.epoch }
+
+// Clone returns an independent copy of the ring. The migrator snapshots
+// the ring before a membership change so the old-vs-new owner diff (and
+// the dual-routing read path) can consult pre-change placement while the
+// live ring already routes new traffic.
+func (r *Ring) Clone() *Ring {
+	return &Ring{
+		vnodes: r.vnodes,
+		points: append([]ringPoint(nil), r.points...),
+		epoch:  r.epoch,
+	}
+}
 
 // Lookup routes a key to a backend index. It panics on an empty ring -
 // routing before any backend exists is a deployment bug, not a
@@ -131,13 +152,21 @@ func (r *Ring) Lookup(key []byte) int {
 // removing a backend promotes each of its keys' next successors, which
 // by construction already hold the keys' replicas.
 func (r *Ring) LookupN(key []byte, n int) []int {
+	return r.OwnersAt(ringHash(key), n)
+}
+
+// OwnersAt returns the replica set for a position in hash space: the
+// owners of any key whose hash is h. LookupN is OwnersAt of the key's
+// hash; the migration planner calls OwnersAt directly on segment
+// boundaries to diff ownership between two rings without materializing
+// keys.
+func (r *Ring) OwnersAt(h uint64, n int) []int {
 	if len(r.points) == 0 {
 		panic("cluster: lookup on empty ring")
 	}
 	if n <= 0 {
 		return nil
 	}
-	h := ringHash(key)
 	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
 	out := make([]int, 0, n)
 	for j := 0; j < len(r.points) && len(out) < n; j++ {

@@ -199,32 +199,10 @@ func Availability(opt AvailabilityOptions) AvailabilityResult {
 	if opt.ReviveAt > 0 && opt.ReviveAt < recoverTo {
 		recoverTo = opt.ReviveAt
 	}
-	out.PreKillRPS, out.PreKillHitRate = windowStats(res, 0, opt.KillAt)
-	out.FailureRPS, out.FailureHitRate = windowStats(res, opt.KillAt, failEnd)
-	out.RecoveredRPS, out.RecoveredHitRate = windowStats(res, recoverFrom, recoverTo)
+	out.PreKillRPS, out.PreKillHitRate = res.WindowStats(0, opt.KillAt)
+	out.FailureRPS, out.FailureHitRate = res.WindowStats(opt.KillAt, failEnd)
+	out.RecoveredRPS, out.RecoveredHitRate = res.WindowStats(recoverFrom, recoverTo)
 	return out
-}
-
-// windowStats aggregates the timeline buckets fully inside [from, to).
-func windowStats(res load.ClusterLoadResult, from, to sim.Time) (rps, hitRate float64) {
-	var completed, hits, misses uint64
-	var covered sim.Time
-	for _, b := range res.Timeline {
-		if b.Start >= from && b.Start+res.BucketWidth <= to {
-			completed += b.Completed
-			hits += b.Hits
-			misses += b.Misses
-			covered += res.BucketWidth
-		}
-	}
-	if covered == 0 {
-		return 0, 0
-	}
-	rps = float64(completed) / (float64(covered) / 1e9)
-	if hits+misses > 0 {
-		hitRate = float64(hits) / float64(hits+misses)
-	}
-	return rps, hitRate
 }
 
 // FormatAvailability renders the run: phase summary plus the timeline.

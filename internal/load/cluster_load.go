@@ -86,6 +86,32 @@ type ClusterLoadResult struct {
 	Populated int
 }
 
+// WindowStats aggregates the timeline buckets fully inside [from, to)
+// - offsets from measurement start - into throughput (completed
+// operations per second) and read hit rate. Experiments use it to
+// compare phases of one run: before/after a kill, a join, or a
+// decommission.
+func (r ClusterLoadResult) WindowStats(from, to sim.Time) (rps, hitRate float64) {
+	var completed, hits, misses uint64
+	var covered sim.Time
+	for _, b := range r.Timeline {
+		if b.Start >= from && b.Start+r.BucketWidth <= to {
+			completed += b.Completed
+			hits += b.Hits
+			misses += b.Misses
+			covered += r.BucketWidth
+		}
+	}
+	if covered == 0 {
+		return 0, 0
+	}
+	rps = float64(completed) / (float64(covered) / 1e9)
+	if hits+misses > 0 {
+		hitRate = float64(hits) / float64(hits+misses)
+	}
+	return rps, hitRate
+}
+
 // clusterLoad is one running generator.
 type clusterLoad struct {
 	cfg       ClusterLoadConfig

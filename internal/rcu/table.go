@@ -89,6 +89,30 @@ func (t *Table[K, V]) Put(key K, val V) {
 	}
 }
 
+// PutIfAbsent inserts the value only if key is not present, reporting
+// whether it inserted. Memcached's ADD semantics; bulk loaders use it so
+// a concurrent fresh write is never overwritten by older data.
+func (t *Table[K, V]) PutIfAbsent(key K, val V) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b := t.bkts.Load()
+	h := t.hash(key)
+	bin := &b.bins[h&b.mask]
+	for n := bin.Load(); n != nil; n = n.next.Load() {
+		if n.key == key {
+			return false
+		}
+	}
+	nn := &node[K, V]{key: key, val: val}
+	nn.next.Store(bin.Load())
+	bin.Store(nn)
+	t.n++
+	if t.n > len(b.bins)*2 {
+		t.resizeLocked(b)
+	}
+	return true
+}
+
 // Delete removes key, reporting whether it was present.
 func (t *Table[K, V]) Delete(key K) bool {
 	t.mu.Lock()
