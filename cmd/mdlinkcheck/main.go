@@ -1,0 +1,96 @@
+// Command mdlinkcheck verifies that the relative links in the
+// repository's markdown files resolve to files that exist. CI runs it
+// over README.md and docs/ so documentation moves and renames cannot
+// silently break cross-references. External (http/https/mailto) links
+// and pure in-page fragments are skipped - the check is hermetic.
+//
+// Usage: mdlinkcheck <file-or-dir> ...
+// Exits non-zero listing every broken link.
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links: [text](target). Reference-style
+// and autolinks are rare in this repo and out of scope.
+var linkRe = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: mdlinkcheck <file-or-dir> ...")
+		os.Exit(2)
+	}
+	var files []string
+	for _, arg := range os.Args[1:] {
+		info, err := os.Stat(arg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mdlinkcheck:", err)
+			os.Exit(2)
+		}
+		if !info.IsDir() {
+			files = append(files, arg)
+			continue
+		}
+		err = filepath.WalkDir(arg, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(strings.ToLower(path), ".md") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mdlinkcheck:", err)
+			os.Exit(2)
+		}
+	}
+
+	broken := 0
+	checked := 0
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mdlinkcheck:", err)
+			os.Exit(2)
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if skip(target) {
+				continue
+			}
+			// Drop an in-page fragment; the file part must still exist.
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			checked++
+			resolved := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(resolved); err != nil {
+				fmt.Printf("%s: broken link %q (-> %s)\n", file, m[1], resolved)
+				broken++
+			}
+		}
+	}
+	fmt.Printf("mdlinkcheck: %d files, %d relative links checked, %d broken\n",
+		len(files), checked, broken)
+	if broken > 0 {
+		os.Exit(1)
+	}
+}
+
+// skip reports whether target is not a relative file link.
+func skip(target string) bool {
+	return strings.HasPrefix(target, "http://") ||
+		strings.HasPrefix(target, "https://") ||
+		strings.HasPrefix(target, "mailto:") ||
+		strings.HasPrefix(target, "#")
+}

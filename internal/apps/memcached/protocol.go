@@ -1,7 +1,13 @@
 // Package memcached re-implements memcached directly against the EbbRT
-// interfaces (paper §4.2): a multi-core key-value server speaking the
-// standard memcached binary protocol, storing pairs in an RCU hash table,
-// handling each request synchronously from the network stack.
+// interfaces (paper §4.2): a multi-core key-value server storing pairs
+// in an RCU hash table (with a globally-locked ablation), handling each
+// request synchronously from the network stack.
+//
+// The server speaks both standard memcached wire protocols on the same
+// listener - the binary protocol (this file) and the ASCII text
+// protocol (textproto.go) - auto-detected per connection from the first
+// byte: 0x80 is the binary request magic, anything else begins a text
+// command line. docs/PROTOCOL.md is the wire-format reference for both.
 //
 // The same server logic runs over the GPOS baseline through the appnet
 // abstraction, which is how Figures 5 and 6 compare systems.

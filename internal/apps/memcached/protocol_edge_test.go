@@ -19,9 +19,11 @@ type fakeConn struct {
 	closed bool
 }
 
-func (f *fakeConn) Send(c *event.Ctx, payload *iobuf.IOBuf) { f.out = append(f.out, payload.CopyOut()...) }
-func (f *fakeConn) Close(c *event.Ctx)                      { f.closed = true }
-func (f *fakeConn) Core() int                               { return 0 }
+func (f *fakeConn) Send(c *event.Ctx, payload *iobuf.IOBuf) {
+	f.out = append(f.out, payload.CopyOut()...)
+}
+func (f *fakeConn) Close(c *event.Ctx) { f.closed = true }
+func (f *fakeConn) Core() int          { return 0 }
 
 // protoHarness runs fn inside a live event context.
 func protoHarness(t *testing.T, fn func(c *event.Ctx)) {
@@ -112,16 +114,22 @@ func TestTruncatedHeaderNeverAnsweredIfAbandoned(t *testing.T) {
 }
 
 func TestBadMagicClosesConnection(t *testing.T) {
+	// A first byte other than 0x80 selects the text protocol (see
+	// textproto_test.go), so the desync-means-close rule now applies to
+	// connections that already committed to binary: once the first frame
+	// carried the request magic, a later frame without it is a
+	// desynchronized stream and must drop the connection.
 	protoHarness(t, func(c *event.Ctx) {
 		srv := NewServer(NewRCUStore(), 1)
 		junk := make([]byte, HeaderLen)
-		junk[0] = 0x42 // neither request nor response magic
-		_, fc := feed(c, srv, junk)
+		junk[0] = 0x42
+		_, fc := feed(c, srv, BuildNoop(1), junk)
 		if !fc.closed {
 			t.Fatal("protocol error did not close the connection")
 		}
-		if len(fc.out) != 0 {
-			t.Fatal("response sent on protocol error")
+		hdrs, _ := parseResponses(t, fc.out)
+		if len(hdrs) != 1 || hdrs[0].Opaque != 1 {
+			t.Fatalf("want only the pre-junk noop response, got %+v", hdrs)
 		}
 	})
 }

@@ -13,7 +13,10 @@ import (
 const Port = 11211
 
 // Server is the memcached instance: one shared store, connections pinned
-// to the cores RSS delivered them to.
+// to the cores RSS delivered them to. It speaks both standard wire
+// protocols on the same listener - the binary protocol and the ASCII
+// text protocol (textproto.go) - auto-detected per connection from the
+// first byte.
 type Server struct {
 	Store Store
 	Cores int
@@ -21,6 +24,17 @@ type Server struct {
 	RequestCPU sim.Time
 	// Requests counts operations served.
 	Requests uint64
+
+	// casSeq feeds nextCAS: every stored entry gets a node-unique,
+	// monotonically increasing CAS value, reported by `gets` (and echoed
+	// in binary GET response headers).
+	casSeq uint64
+}
+
+// nextCAS returns the next CAS value to stamp on a stored entry.
+func (s *Server) nextCAS() uint64 {
+	s.casSeq++
+	return s.casSeq
 }
 
 // NewServer creates a server over the given store.
@@ -44,17 +58,31 @@ func (s *Server) Serve(rt appnet.Runtime) error {
 // would otherwise have to perform over the network).
 func (s *Server) Prepopulate(keys [][]byte, values [][]byte) {
 	for i := range keys {
-		s.Store.Set(string(keys[i]), &Entry{Value: values[i], Flags: 0})
+		s.Store.Set(string(keys[i]), &Entry{Value: values[i], Flags: 0, CAS: s.nextCAS()})
 	}
 }
 
+// Per-connection protocol modes. A connection commits to a protocol on
+// its first received byte and never switches.
+const (
+	modeDetect byte = iota // nothing received yet
+	modeBinary             // first byte was MagicRequest
+	modeText               // anything else: an ASCII command line
+	modeClosed             // torn down (quit, or a binary framing error)
+)
+
 // serverConn accumulates stream bytes and processes complete requests.
 type serverConn struct {
-	srv *Server
-	rx  []byte
+	srv  *Server
+	rx   []byte
+	mode byte
+	text textSession
 }
 
 func (sc *serverConn) onData(c *event.Ctx, conn appnet.Conn, payload *iobuf.IOBuf) {
+	if sc.mode == modeClosed {
+		return
+	}
 	// The paper's implementation parses requests directly from the IOBufs
 	// the driver filled. We accumulate only when a request straddles
 	// segment boundaries; the fast path processes in place.
@@ -62,6 +90,22 @@ func (sc *serverConn) onData(c *event.Ctx, conn appnet.Conn, payload *iobuf.IOBu
 	if len(sc.rx) > 0 {
 		sc.rx = append(sc.rx, data...)
 		data = sc.rx
+	}
+	if len(data) == 0 {
+		return
+	}
+	// Protocol auto-detection: the binary request magic 0x80 is not a
+	// printable ASCII byte, so it can never begin a text command line.
+	if sc.mode == modeDetect {
+		if data[0] == MagicRequest {
+			sc.mode = modeBinary
+		} else {
+			sc.mode = modeText
+		}
+	}
+	if sc.mode == modeText {
+		sc.onTextData(c, conn, data)
+		return
 	}
 	// One coalesced response per delivery batch: responses to pipelined
 	// requests aggregate into a single send, as the event-driven server
@@ -72,6 +116,7 @@ func (sc *serverConn) onData(c *event.Ctx, conn appnet.Conn, payload *iobuf.IOBu
 		hdr, body, n, err := NextFrame(data[consumed:], MagicRequest)
 		if err != nil {
 			// Protocol error: drop the connection.
+			sc.mode = modeClosed
 			conn.Close(c)
 			return
 		}
@@ -89,6 +134,25 @@ func (sc *serverConn) onData(c *event.Ctx, conn appnet.Conn, payload *iobuf.IOBu
 	}
 	if len(resp) > 0 {
 		conn.Send(c, iobuf.Wrap(resp))
+	}
+}
+
+// onTextData runs the text-protocol state machine over the coalesced
+// stream, with the same retain-the-tail and single-send-per-batch
+// discipline as the binary path.
+func (sc *serverConn) onTextData(c *event.Ctx, conn appnet.Conn, data []byte) {
+	resp, consumed, quit := sc.srv.handleText(c, &sc.text, data)
+	if consumed < len(data) && !quit {
+		sc.rx = append(sc.rx[:0], data[consumed:]...)
+	} else {
+		sc.rx = sc.rx[:0]
+	}
+	if len(resp) > 0 {
+		conn.Send(c, iobuf.Wrap(resp))
+	}
+	if quit {
+		sc.mode = modeClosed
+		conn.Close(c)
 	}
 }
 
@@ -110,7 +174,7 @@ func (s *Server) handle(c *event.Ctx, hdr Header, body []byte, resp []byte) []by
 		}
 		var extras [GetResponseExtrasLen]byte
 		binary.BigEndian.PutUint32(extras[:], e.Flags)
-		return appendResponse(resp, hdr, StatusOK, extras[:], e.Value)
+		return appendResponseCAS(resp, hdr, StatusOK, extras[:], e.Value, e.CAS)
 
 	case OpSet, OpSetQ:
 		var flags uint32
@@ -118,7 +182,7 @@ func (s *Server) handle(c *event.Ctx, hdr Header, body []byte, resp []byte) []by
 			flags = binary.BigEndian.Uint32(body)
 		}
 		value := append([]byte(nil), body[keyStart+int(hdr.KeyLen):]...)
-		s.Store.Set(key, &Entry{Value: value, Flags: flags})
+		s.Store.Set(key, &Entry{Value: value, Flags: flags, CAS: s.nextCAS()})
 		if hdr.Opcode == OpSetQ {
 			return resp
 		}
@@ -130,7 +194,7 @@ func (s *Server) handle(c *event.Ctx, hdr Header, body []byte, resp []byte) []by
 			flags = binary.BigEndian.Uint32(body)
 		}
 		value := append([]byte(nil), body[keyStart+int(hdr.KeyLen):]...)
-		if !s.Store.Add(key, &Entry{Value: value, Flags: flags}) {
+		if !s.Store.Add(key, &Entry{Value: value, Flags: flags, CAS: s.nextCAS()}) {
 			// Losing the race to an existing entry is an error response
 			// even for the quiet opcode, as in stock memcached; quiet
 			// suppresses only successes.
@@ -157,6 +221,12 @@ func (s *Server) handle(c *event.Ctx, hdr Header, body []byte, resp []byte) []by
 
 // appendResponse serializes a response packet onto resp.
 func appendResponse(resp []byte, req Header, status uint16, extras, value []byte) []byte {
+	return appendResponseCAS(resp, req, status, extras, value, 0)
+}
+
+// appendResponseCAS is appendResponse carrying the entry's CAS in the
+// response header (GET responses report it, as stock memcached does).
+func appendResponseCAS(resp []byte, req Header, status uint16, extras, value []byte, cas uint64) []byte {
 	body := len(extras) + len(value)
 	off := len(resp)
 	resp = append(resp, make([]byte, HeaderLen+body)...)
@@ -167,6 +237,7 @@ func appendResponse(resp []byte, req Header, status uint16, extras, value []byte
 		Status:    status,
 		BodyLen:   uint32(body),
 		Opaque:    req.Opaque,
+		CAS:       cas,
 	})
 	copy(resp[off+HeaderLen:], extras)
 	copy(resp[off+HeaderLen+len(extras):], value)

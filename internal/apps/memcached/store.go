@@ -11,6 +11,12 @@ import (
 type Entry struct {
 	Value []byte
 	Flags uint32
+	// CAS is the node-local compare-and-swap token stamped by the server
+	// on every store (Server.nextCAS), reported by the text protocol's
+	// `gets` and the binary GET response header. As in stock memcached it
+	// is per-node state: a migrated entry is re-stamped by the receiving
+	// server.
+	CAS uint64
 }
 
 // Store abstracts the key-value backing so the harness can compare the RCU

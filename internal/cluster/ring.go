@@ -1,11 +1,3 @@
-// Package cluster implements the multi-backend memcached deployment of
-// the paper's §3 heterogeneous model: a hosted frontend plus N native
-// library-OS backends sharing one Ebb namespace, with the keyspace
-// sharded across backends by consistent hashing. The frontend (or any
-// node) reaches the shards through a cluster-aware client Ebb whose
-// per-core representatives each own their own connection pools - the
-// same no-shared-state-across-cores discipline the single-node server
-// follows.
 package cluster
 
 import (

@@ -22,6 +22,21 @@ type ScalingOptions struct {
 	Duration sim.Time
 }
 
+// withDefaults fills unset options with the experiments' shared
+// defaults.
+func (opt ScalingOptions) withDefaults() ScalingOptions {
+	if opt.CoresPerBackend <= 0 {
+		opt.CoresPerBackend = 1
+	}
+	if opt.ConnsPerBackend <= 0 {
+		opt.ConnsPerBackend = 8
+	}
+	if opt.Duration <= 0 {
+		opt.Duration = 150 * sim.Millisecond
+	}
+	return opt
+}
+
 // ScalingRow is one point of the cluster-scaling curve.
 type ScalingRow struct {
 	Backends int
@@ -38,15 +53,7 @@ type ScalingRow struct {
 // generator (a separate machine on the same switch, like the paper's
 // mutilate host) drives each shard over its own connection pool.
 func ClusterScaling(backendCounts []int, perBackendRPS float64, opt ScalingOptions) []ScalingRow {
-	if opt.CoresPerBackend <= 0 {
-		opt.CoresPerBackend = 1
-	}
-	if opt.ConnsPerBackend <= 0 {
-		opt.ConnsPerBackend = 8
-	}
-	if opt.Duration <= 0 {
-		opt.Duration = 150 * sim.Millisecond
-	}
+	opt = opt.withDefaults()
 	var rows []ScalingRow
 	for _, n := range backendCounts {
 		rows = append(rows, scalingPoint(n, perBackendRPS, opt))
@@ -54,7 +61,10 @@ func ClusterScaling(backendCounts []int, perBackendRPS float64, opt ScalingOptio
 	return rows
 }
 
-func scalingPoint(backends int, perBackendRPS float64, opt ScalingOptions) ScalingRow {
+// newShardedTarget boots a fresh cluster of the given size plus a
+// dedicated load-generator node, and wires one load.Shard per backend -
+// the common target every sharded load experiment drives.
+func newShardedTarget(backends int, opt ScalingOptions) (*cluster.Cluster, appnet.Runtime, []load.Shard) {
 	cl := cluster.New(backends, opt.CoresPerBackend)
 	// The load generator must never be the bottleneck: give it more
 	// cores than the backends have in total.
@@ -71,11 +81,15 @@ func scalingPoint(backends int, perBackendRPS float64, opt ScalingOptions) Scali
 			},
 		}
 	}
+	return cl, gen.Runtime, shards
+}
 
+func scalingPoint(backends int, perBackendRPS float64, opt ScalingOptions) ScalingRow {
+	cl, gen, shards := newShardedTarget(backends, opt)
 	cfg := load.DefaultMutilate(perBackendRPS * float64(backends))
 	cfg.Connections = opt.ConnsPerBackend
 	cfg.Duration = opt.Duration
-	res := load.RunMutilateSharded(gen.Runtime, shards, cl.Ring.Lookup, cfg)
+	res := load.RunMutilateSharded(gen, shards, cl.Ring.Lookup, cfg)
 	return ScalingRow{Backends: backends, OfferedRPS: cfg.TargetRPS, Result: res}
 }
 

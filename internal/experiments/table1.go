@@ -1,7 +1,3 @@
-// Package experiments contains one harness per table and figure of the
-// paper's evaluation (§4). The cmd/ binaries and the repository's
-// testing.B benchmarks are thin wrappers over these functions, and
-// EXPERIMENTS.md records their output against the paper's numbers.
 package experiments
 
 import (

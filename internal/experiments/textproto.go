@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ebbrt/internal/load"
+)
+
+// TextVsBinary: the same sharded cluster and ETC load driven twice, once
+// over the binary protocol and once over the ASCII text protocol. The
+// two runs differ only in the wire format - the arrival process, key
+// routing, connection pools, and backends are identical - so the gap
+// between the curves is the text path's cost: per-byte command-line
+// tokenization at the server (memcached.textParsePerByte) and the
+// larger, line-framed responses. The ROADMAP's motivation for speaking
+// text at all is compatibility (stock clients and benchmarks), so the
+// experiment's question is what that compatibility costs at cluster
+// scale.
+
+// TextVsBinaryRow is one backend-count point measured under both
+// protocols.
+type TextVsBinaryRow struct {
+	Backends int
+	// OfferedRPS is the aggregate open-loop arrival rate for each run.
+	OfferedRPS float64
+	Binary     load.MutilateResult
+	Text       load.MutilateResult
+}
+
+// Ratio is text achieved throughput over binary achieved throughput.
+func (r TextVsBinaryRow) Ratio() float64 {
+	if r.Binary.AchievedRPS == 0 {
+		return 0
+	}
+	return r.Text.AchievedRPS / r.Binary.AchievedRPS
+}
+
+// TextVsBinary sweeps backend counts, measuring each point under the
+// binary and then the text protocol against a fresh cluster each run
+// (so neither run sees the other's store mutations or queue state).
+func TextVsBinary(backendCounts []int, perBackendRPS float64, opt ScalingOptions) []TextVsBinaryRow {
+	opt = opt.withDefaults()
+	var rows []TextVsBinaryRow
+	for _, n := range backendCounts {
+		rows = append(rows, textVsBinaryPoint(n, perBackendRPS, opt))
+	}
+	return rows
+}
+
+func textVsBinaryPoint(backends int, perBackendRPS float64, opt ScalingOptions) TextVsBinaryRow {
+	cfg := load.DefaultMutilate(perBackendRPS * float64(backends))
+	cfg.Connections = opt.ConnsPerBackend
+	cfg.Duration = opt.Duration
+
+	cl, gen, shards := newShardedTarget(backends, opt)
+	bin := load.RunMutilateSharded(gen, shards, cl.Ring.Lookup, cfg)
+
+	cl, gen, shards = newShardedTarget(backends, opt)
+	txt := load.RunMutilateText(gen, shards, cl.Ring.Lookup, cfg)
+
+	return TextVsBinaryRow{
+		Backends:   backends,
+		OfferedRPS: cfg.TargetRPS,
+		Binary:     bin,
+		Text:       txt,
+	}
+}
+
+// FormatTextVsBinary renders the comparison, one backend count per row.
+func FormatTextVsBinary(rows []TextVsBinaryRow) string {
+	out := fmt.Sprintf("%-9s %10s %12s %12s %9s %10s %10s\n",
+		"Backends", "Offered", "Binary", "Text", "Text/Bin", "Bin p99", "Text p99")
+	for _, r := range rows {
+		out += fmt.Sprintf("%-9d %10.0f %12.0f %12.0f %8.2fx %8.1fus %8.1fus\n",
+			r.Backends, r.OfferedRPS, r.Binary.AchievedRPS, r.Text.AchievedRPS,
+			r.Ratio(), r.Binary.P99.Micros(), r.Text.P99.Micros())
+	}
+	return out
+}

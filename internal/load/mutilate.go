@@ -1,8 +1,11 @@
 // Package load implements the evaluation's load generators: a
 // mutilate-style memcached client generating the Facebook ETC workload
-// (paper §4.2) and a wrk-style HTTP client (paper §4.3, Table 2).
+// (paper §4.2) - over the binary protocol (RunMutilate,
+// RunMutilateSharded) or the ASCII text protocol (RunMutilateText) -
+// a replicated-cluster client-Ebb runner with a failure timeline
+// (RunClusterLoad), and a wrk-style HTTP client (paper §4.3, Table 2).
 //
-// Both are open-loop: requests arrive by a Poisson process at a target
+// All are open-loop: requests arrive by a Poisson process at a target
 // rate regardless of completions, so server queueing shows up as latency -
 // the methodology behind the paper's latency-vs-throughput curves.
 package load
@@ -100,6 +103,11 @@ type MutilateConfig struct {
 	Duration    sim.Time
 	Seed        uint64
 	ETC         ETCConfig
+	// TextProtocol switches the generator from the binary protocol to
+	// the ASCII text protocol (RunMutilateText): requests are command
+	// lines, responses are matched in connection FIFO order rather than
+	// by opaque.
+	TextProtocol bool
 }
 
 // DefaultMutilate mirrors the paper's setup: pipeline depth 4 over TCP.
@@ -148,6 +156,11 @@ type mconn struct {
 	outstanding int
 	rx          []byte
 	connected   bool
+
+	// Text-protocol state (mutilate_text.go): the protocol has no opaque,
+	// so responses complete the oldest outstanding op on the connection.
+	textFifo []textPending
+	tpSkip   int // bytes of a VALUE data block (+CRLF) still to skip
 }
 
 // Dial connects one client connection to a target (injected to avoid
@@ -293,15 +306,19 @@ func (mc *mconn) pump(c *event.Ctx) {
 	for mc.outstanding < mc.m.cfg.Pipeline && len(mc.queue) > 0 {
 		req := mc.queue[0]
 		mc.queue = mc.queue[1:]
-		opaque := mc.nextOpaque
-		mc.nextOpaque++
 		var packet []byte
-		if req.isGet {
-			packet = memcached.BuildGet(mc.m.work.Keys[req.keyIdx], opaque)
+		if mc.m.cfg.TextProtocol {
+			packet = mc.encodeText(req)
 		} else {
-			packet = memcached.BuildSet(mc.m.work.Keys[req.keyIdx], mc.m.work.newValue(), 0, opaque)
+			opaque := mc.nextOpaque
+			mc.nextOpaque++
+			if req.isGet {
+				packet = memcached.BuildGet(mc.m.work.Keys[req.keyIdx], opaque)
+			} else {
+				packet = memcached.BuildSet(mc.m.work.Keys[req.keyIdx], mc.m.work.newValue(), 0, opaque)
+			}
+			mc.inflight[opaque] = req.arrival
 		}
-		mc.inflight[opaque] = req.arrival
 		mc.outstanding++
 		mc.conn.Send(c, iobuf.Wrap(packet))
 	}
@@ -313,6 +330,16 @@ func (mc *mconn) onData(c *event.Ctx, payload *iobuf.IOBuf) {
 	if len(mc.rx) > 0 {
 		mc.rx = append(mc.rx, data...)
 		data = mc.rx
+	}
+	if mc.m.cfg.TextProtocol {
+		consumed := mc.decodeText(c, data)
+		if consumed < len(data) {
+			mc.rx = append(mc.rx[:0], data[consumed:]...)
+		} else {
+			mc.rx = mc.rx[:0]
+		}
+		mc.pump(c)
+		return
 	}
 	consumed := 0
 	for {
