@@ -1,0 +1,121 @@
+// Command benchguard is the CI benchmark regression gate: it runs the
+// cluster-scaling and hot-key experiments at smoke scale, writes the
+// measured numbers to a JSON artifact, and exits non-zero if any
+// headline number regresses below its committed floor. The floors are
+// deliberately below the measured values (4x scaling measured vs 3.0
+// floor; ~1.7x hot-key improvement measured vs 1.3 floor) so the gate
+// trips on real regressions, not noise.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"ebbrt/internal/cluster"
+	"ebbrt/internal/experiments"
+	"ebbrt/internal/sim"
+)
+
+// report is the BENCH_hotkey.json schema.
+type report struct {
+	// Scaling4 is the binary-protocol sharded scaling speedup at 4
+	// backends over 1 (the PR 1 acceptance number).
+	Scaling4 float64 `json:"scaling_speedup_4_backends"`
+	// HotKeyOffSpeedup / HotKeyOnSpeedup are the skewed-tail scaling
+	// speedups at the sweep's largest backend count with the client
+	// Ebb's hot-key cache off and on.
+	HotKeyBackends   int     `json:"hotkey_backends"`
+	HotKeyOffSpeedup float64 `json:"hotkey_off_speedup"`
+	HotKeyOnSpeedup  float64 `json:"hotkey_on_speedup"`
+	// HotKeyImprovement is OnSpeedup/OffSpeedup - the number the gate
+	// guards.
+	HotKeyImprovement float64 `json:"hotkey_improvement"`
+	HotKeyHitRate     float64 `json:"hotkey_cache_hit_rate"`
+	HotShare          float64 `json:"hot_key_share_top10"`
+	// Staleness probe: the oldest stale cache serve vs the TTL bound.
+	MaxStaleAgeMs float64 `json:"max_stale_age_ms"`
+	TTLMs         float64 `json:"ttl_ms"`
+	TTLBounded    bool    `json:"ttl_bounded"`
+	// Floors the run was gated against.
+	MinScaling4    float64 `json:"floor_scaling_4_backends"`
+	MinImprovement float64 `json:"floor_hotkey_improvement"`
+	Pass           bool    `json:"pass"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_hotkey.json", "report artifact path")
+	minScaling := flag.Float64("min-scaling", 3.0, "floor for 4-backend scaling speedup")
+	minImprove := flag.Float64("min-improvement", 1.3, "floor for the hot-key skewed-tail improvement")
+	rate := flag.Float64("rate", 280000, "hot-key experiment offered RPS per backend")
+	scaleRate := flag.Float64("scale-rate", 200000, "scaling experiment offered RPS per backend")
+	durMs := flag.Int("duration", 40, "measured window per point (ms)")
+	keys := flag.Int("keys", 4000, "ETC key population for the hot-key runs")
+	backends := flag.Int("backends", 8, "hot-key sweep tail backend count")
+	flag.Parse()
+
+	dur := sim.Time(*durMs) * sim.Millisecond
+
+	fmt.Printf("benchguard: scaling smoke (1 vs 4 backends, %.0f RPS/backend)\n", *scaleRate)
+	rows := experiments.ClusterScaling([]int{1, 4}, *scaleRate, experiments.ScalingOptions{Duration: dur})
+	fmt.Print(experiments.FormatScaling(rows))
+	scaling4 := 0.0
+	if rows[0].Result.AchievedRPS > 0 {
+		scaling4 = rows[1].Result.AchievedRPS / rows[0].Result.AchievedRPS
+	}
+
+	fmt.Printf("\nbenchguard: hot-key smoke (1 vs %d backends, %.0f RPS/backend)\n", *backends, *rate)
+	hk := experiments.HotKey(experiments.HotKeyOptions{
+		BackendCounts: []int{1, *backends},
+		PerBackendRPS: *rate,
+		Duration:      dur,
+		KeySpace:      *keys,
+		// PromoteMin 4 matches the ebbrt-hotkey driver: smoke windows are
+		// short, so promotion must not eat most of the run.
+		Cache: cluster.HotKeyOptions{PromoteMin: 4},
+	})
+	fmt.Print(experiments.FormatHotKey(hk))
+	tail := hk.Rows[len(hk.Rows)-1]
+
+	rep := report{
+		Scaling4:          scaling4,
+		HotKeyBackends:    tail.Backends,
+		HotKeyOffSpeedup:  tail.OffSpeedup,
+		HotKeyOnSpeedup:   tail.OnSpeedup,
+		HotKeyImprovement: hk.Improvement,
+		HotKeyHitRate:     tail.Cache.HitRate(),
+		HotShare:          hk.HotShare,
+		MaxStaleAgeMs:     float64(hk.Probe.MaxStaleAge) / 1e6,
+		TTLMs:             float64(hk.TTL) / 1e6,
+		TTLBounded:        hk.TTLBounded,
+		MinScaling4:       *minScaling,
+		MinImprovement:    *minImprove,
+	}
+	rep.Pass = rep.Scaling4 >= *minScaling && rep.HotKeyImprovement >= *minImprove && rep.TTLBounded
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("\nbenchguard: wrote %s\n%s", *out, data)
+
+	switch {
+	case !rep.TTLBounded:
+		fmt.Fprintln(os.Stderr, "benchguard FAIL: staleness probe exceeded the TTL bound")
+		os.Exit(1)
+	case rep.Scaling4 < *minScaling:
+		fmt.Fprintf(os.Stderr, "benchguard FAIL: scaling speedup %.2fx below floor %.2fx\n", rep.Scaling4, *minScaling)
+		os.Exit(1)
+	case rep.HotKeyImprovement < *minImprove:
+		fmt.Fprintf(os.Stderr, "benchguard FAIL: hot-key improvement %.2fx below floor %.2fx\n", rep.HotKeyImprovement, *minImprove)
+		os.Exit(1)
+	}
+	fmt.Println("benchguard PASS")
+}

@@ -182,11 +182,14 @@ func (s *Server) handle(c *event.Ctx, hdr Header, body []byte, resp []byte) []by
 			flags = binary.BigEndian.Uint32(body)
 		}
 		value := append([]byte(nil), body[keyStart+int(hdr.KeyLen):]...)
-		s.Store.Set(key, &Entry{Value: value, Flags: flags, CAS: s.nextCAS()})
+		cas := s.nextCAS()
+		s.Store.Set(key, &Entry{Value: value, Flags: flags, CAS: cas})
 		if hdr.Opcode == OpSetQ {
 			return resp
 		}
-		return appendResponse(resp, hdr, StatusOK, nil, nil)
+		// As in stock memcached, a successful store echoes the entry's
+		// newly stamped CAS in the response header.
+		return appendResponseCAS(resp, hdr, StatusOK, nil, nil, cas)
 
 	case OpAdd, OpAddQ:
 		var flags uint32
@@ -194,7 +197,8 @@ func (s *Server) handle(c *event.Ctx, hdr Header, body []byte, resp []byte) []by
 			flags = binary.BigEndian.Uint32(body)
 		}
 		value := append([]byte(nil), body[keyStart+int(hdr.KeyLen):]...)
-		if !s.Store.Add(key, &Entry{Value: value, Flags: flags, CAS: s.nextCAS()}) {
+		cas := s.nextCAS()
+		if !s.Store.Add(key, &Entry{Value: value, Flags: flags, CAS: cas}) {
 			// Losing the race to an existing entry is an error response
 			// even for the quiet opcode, as in stock memcached; quiet
 			// suppresses only successes.
@@ -203,7 +207,7 @@ func (s *Server) handle(c *event.Ctx, hdr Header, body []byte, resp []byte) []by
 		if hdr.Opcode == OpAddQ {
 			return resp
 		}
-		return appendResponse(resp, hdr, StatusOK, nil, nil)
+		return appendResponseCAS(resp, hdr, StatusOK, nil, nil, cas)
 
 	case OpDelete:
 		if s.Store.Delete(key) {

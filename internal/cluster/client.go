@@ -25,6 +25,11 @@ type Response struct {
 	Status uint16
 	Flags  uint32
 	Value  []byte
+	// CAS is the entry's compare-and-swap stamp echoed in the server's
+	// response header (the owner's Entry.CAS on reads, the newly stamped
+	// value on stores). The hot-key cache uses it as the coherence
+	// version for cached values.
+	CAS uint64
 }
 
 // OK reports protocol success.
@@ -55,6 +60,10 @@ type ClientOptions struct {
 	// NoReadRepair disables the asynchronous re-set of a key onto
 	// replicas that missed it when a later replica served the read.
 	NoReadRepair bool
+	// HotKey configures the per-core hot-key read cache. When left
+	// disabled the client inherits the cluster's Options.HotKey; set
+	// HotKey.Disable to keep the cache off regardless.
+	HotKey HotKeyOptions
 }
 
 // Client is the cluster-aware memcached client Ebb. Its id lives in the
@@ -75,6 +84,16 @@ type Client struct {
 	node *hosted.Node
 	ref  core.Ref[clientRep]
 	opt  ClientOptions
+	mgrs []*event.Manager
+	// tombGen counts this client's Deletes. Hot-key fills and re-stamps
+	// capture it when their operation is issued and stand down if it
+	// moved by completion: a response racing any of this client's
+	// Deletes - from any core - must not resurrect the deleted value
+	// (absence has no CAS for the cache's monotonic put guard to
+	// compare against). One client-wide counter rather than per-core
+	// state: a Delete on core B must also stand down a re-stamp another
+	// core's ack is about to spawn onto B.
+	tombGen uint64
 }
 
 // NewClient installs a client Ebb for the cluster on the given node
@@ -89,12 +108,53 @@ func NewClientWithOptions(cl *Cluster, node *hosted.Node, opt ClientOptions) *Cl
 	if opt.PoolSize <= 0 {
 		opt.PoolSize = DefaultPoolSize
 	}
+	if !opt.HotKey.Enable && !opt.HotKey.Disable {
+		opt.HotKey = cl.HotKey
+	}
+	if opt.HotKey.Disable {
+		opt.HotKey = HotKeyOptions{}
+	}
+	if opt.HotKey.Enable {
+		opt.HotKey = opt.HotKey.WithDefaults()
+	}
 	cli := &Client{cl: cl, node: node, opt: opt}
 	id := cl.Sys.AllocateEbbId()
 	mgrs := node.Runtime.Mgrs()
+	cli.mgrs = mgrs
 	cli.ref = core.Attach(node.Domain, id, func(corei int) *clientRep {
-		return &clientRep{cli: cli, mgr: mgrs[corei], pools: map[int]*backendPool{}}
+		rep := &clientRep{cli: cli, mgr: mgrs[corei], pools: map[int]*backendPool{}}
+		if cli.opt.HotKey.Enable {
+			rep.hot = newHotKeyRep(cli.opt.HotKey)
+		}
+		return rep
 	})
+	if opt.HotKey.Enable {
+		// A migration's dual-routing window must never serve a cached
+		// value that predates it: flush every core's entries covered by
+		// the moved ranges as the window opens (reads inside the window
+		// additionally bypass the cache, closing the spawn race).
+		cl.WatchHandoff(func(pending []MoveRange) {
+			ranges := append([]MoveRange(nil), pending...)
+			for corei := range mgrs {
+				corei := corei
+				mgrs[corei].Spawn(func(c *event.Ctx) {
+					rep, ok := cli.ref.GetIfPresent(corei)
+					if !ok || rep.hot == nil {
+						return
+					}
+					n := rep.hot.cache.flushWhere(func(h uint64) bool {
+						for _, r := range ranges {
+							if r.Contains(h) {
+								return true
+							}
+						}
+						return false
+					})
+					rep.hot.stats.Flushes += uint64(n)
+				})
+			}
+		})
+	}
 	cl.Watch(func(backend int, up bool) {
 		if up {
 			return // pools to a restored backend re-dial lazily
@@ -121,8 +181,217 @@ func (cli *Client) Id() core.Id { return cli.ref.Id() }
 // a migration handoff the read set for a still-moving range is the old
 // owners followed by the new ones, so the key is served wherever it
 // currently lives.
+//
+// With the hot-key cache enabled, a key the frequency sketch has
+// promoted is served from the core's local cache when a live (within
+// TTL) copy is held, never touching the network; misses count the
+// access toward promotion and fill the cache from the response once the
+// key qualifies. Reads for ranges mid-migration bypass the cache
+// entirely.
 func (cli *Client) Get(c *event.Ctx, key []byte, cb Callback) {
+	rep := cli.rep(c)
+	if hk := rep.hot; hk != nil {
+		h := ringHash(key)
+		if cli.handoffCovers(h) {
+			hk.stats.HandoffBypass++
+			hk.cache.invalidate(key)
+			cli.getFrom(c, key, cli.cl.ReadSet(key), 0, nil, cb)
+			return
+		}
+		if e, ok := hk.cache.get(key, c.Now()); ok {
+			hk.stats.Hits++
+			if hk.opt.StalenessProbe {
+				cli.probeStaleness(c, hk, key, e)
+			}
+			cli.maybeRevalidate(c, hk, key)
+			if cb != nil {
+				cb(c, Response{Status: memcached.StatusOK, Flags: e.flags, Value: e.value, CAS: e.cas})
+			}
+			return
+		}
+		hk.stats.Misses++
+		if hk.sketch.touch(h) >= hk.opt.PromoteMin {
+			// The key is hot: admit the response when it arrives, unless a
+			// handoff opened over its range - or this client issued a
+			// delete tombstone (read-your-own-delete) - in the meantime.
+			keyCopy := append([]byte(nil), key...)
+			gen := cli.tombGen
+			inner := cb
+			cb = func(c *event.Ctx, r Response) {
+				if r.OK() && !cli.handoffCovers(h) && cli.tombGen == gen {
+					hk.cache.put(string(keyCopy), h, append([]byte(nil), r.Value...), r.Flags, r.CAS, c.Now())
+				}
+				if inner != nil {
+					inner(c, r)
+				}
+			}
+		}
+	}
 	cli.getFrom(c, key, cli.cl.ReadSet(key), 0, nil, cb)
+}
+
+// handoffCovers reports whether key hash h sits in a still-pending
+// moved range of an open migration window.
+func (cli *Client) handoffCovers(h uint64) bool {
+	ho := cli.cl.handoff
+	return ho != nil && ho.covers(h)
+}
+
+// probeStaleness compares a served cache hit against the owning shard's
+// store directly - simulation-level introspection (like
+// Cluster.LiveHolders), recording how stale served values actually get
+// so experiments can verify the TTL bound. With R > 1 a fill served by
+// a non-primary replica carries that replica's CAS, so the probe
+// overcounts there; the experiments run it at R=1 where CAS stamps are
+// unambiguous.
+func (cli *Client) probeStaleness(c *event.Ctx, hk *hotKeyRep, key []byte, e *cacheEntry) {
+	b := cli.cl.Backends[cli.cl.Ring.Lookup(key)]
+	cur, ok := b.Srv.Store.Get(string(key))
+	if ok && cur.CAS == e.cas {
+		return
+	}
+	hk.stats.StaleServes++
+	if age := c.Now() - e.storedAt; age > hk.stats.MaxStaleAge {
+		hk.stats.MaxStaleAge = age
+	}
+}
+
+// maybeRevalidate samples one in RevalidateEvery cache hits for an
+// asynchronous CAS check against the replica set: if the owner's stamp
+// moved, the cached copy is re-stamped with the fresh value (or dropped
+// on a miss). Together with the TTL this bounds how long another
+// client's write can go unseen.
+func (cli *Client) maybeRevalidate(c *event.Ctx, hk *hotKeyRep, key []byte) {
+	if hk.opt.RevalidateEvery <= 0 {
+		return
+	}
+	hk.sinceReval++
+	if hk.sinceReval < hk.opt.RevalidateEvery {
+		return
+	}
+	hk.sinceReval = 0
+	hk.stats.Revalidations++
+	keyCopy := append([]byte(nil), key...)
+	h := ringHash(keyCopy)
+	cli.getFrom(c, keyCopy, cli.cl.ReadSet(keyCopy), 0, nil, func(c *event.Ctx, r Response) {
+		cur, ok := hk.cache.m[string(keyCopy)]
+		if !ok {
+			return // evicted or invalidated while the check was in flight
+		}
+		switch {
+		case r.OK() && r.CAS > cur.cas:
+			// CAS stamps are monotonic, so only a strictly newer response
+			// may replace the entry - a reordered older read (overtaken by
+			// a write-path re-stamp) must not roll it back or reset its
+			// TTL clock onto stale data.
+			if cli.handoffCovers(h) {
+				hk.cache.remove(cur)
+				return
+			}
+			hk.stats.Refreshes++
+			cur.value = append([]byte(nil), r.Value...)
+			cur.flags = r.Flags
+			cur.cas = r.CAS
+			cur.storedAt = c.Now()
+		case r.OK() && r.CAS == cur.cas:
+			cur.storedAt = c.Now() // confirmed fresh: restart the TTL clock
+		case r.Status == memcached.StatusKeyNotFound:
+			hk.cache.remove(cur)
+		}
+	})
+}
+
+// forEachHotRep runs fn against every core's hot-key representative:
+// synchronously on the submitting core (its state must change before
+// the caller's next operation), via spawned events on the rest. fn
+// receives the key bytes valid on its core (the spawned copies own
+// their slice). Cores that never faulted the client in are skipped.
+func (cli *Client) forEachHotRep(c *event.Ctx, key []byte, fn func(c *event.Ctx, hk *hotKeyRep, key []byte)) {
+	self := c.Core().ID
+	if rep, ok := cli.ref.GetIfPresent(self); ok && rep.hot != nil {
+		fn(c, rep.hot, key)
+	}
+	keyCopy := append([]byte(nil), key...)
+	for corei := range cli.mgrs {
+		if corei == self {
+			continue
+		}
+		corei := corei
+		cli.mgrs[corei].Spawn(func(c *event.Ctx) {
+			if rep, ok := cli.ref.GetIfPresent(corei); ok && rep.hot != nil {
+				fn(c, rep.hot, keyCopy)
+			}
+		})
+	}
+}
+
+// invalidateHot drops key's cached copy on every core of the client -
+// the write-path half of the coherence rule. The submitting core is
+// handled synchronously (its next read must not see the old value);
+// other cores are invalidated via spawned events, a window also covered
+// by the TTL bound.
+//
+// tombstone marks a Delete: those additionally bump the client's
+// tombstone generation, standing down in-flight fills and re-stamps on
+// every core that would otherwise resurrect the deleted value
+// (overwrites don't need the generation because a re-stamp always
+// carries a newer CAS than any racing stale fill).
+func (cli *Client) invalidateHot(c *event.Ctx, key []byte, tombstone bool) {
+	if !cli.opt.HotKey.Enable {
+		return
+	}
+	if tombstone {
+		cli.tombGen++
+	}
+	cli.forEachHotRep(c, key, func(c *event.Ctx, hk *hotKeyRep, kb []byte) {
+		if hk.cache.invalidate(kb) {
+			hk.stats.Invalidations++
+		}
+	})
+}
+
+// restampHot re-admits an acknowledged write into each core's cache,
+// stamped with the CAS the server assigned it. Only keys the core's own
+// sketch has promoted are admitted - a write to a cold key must not
+// displace hot entries. Every re-stamp (the ack core's synchronous one
+// and the spawned cross-core ones alike) stands down if its range went
+// mid-migration or the client issued a delete tombstone after the write
+// - gen is sampled at submit, so a Delete from ANY core during the
+// write's flight suppresses resurrection everywhere.
+func (cli *Client) restampHot(c *event.Ctx, key, value []byte, flags uint32, cas uint64, gen uint64) {
+	h := ringHash(key)
+	cli.forEachHotRep(c, key, func(c *event.Ctx, hk *hotKeyRep, kb []byte) {
+		if cli.tombGen != gen || cli.handoffCovers(h) {
+			return
+		}
+		if hk.sketch.estimate(h) < hk.opt.PromoteMin {
+			return
+		}
+		hk.cache.put(string(kb), h, value, flags, cas, c.Now())
+	})
+}
+
+// HotKeyStats sums the hot-key cache counters across the client's
+// per-core representatives.
+func (cli *Client) HotKeyStats() HotKeyStats {
+	var out HotKeyStats
+	for corei := range cli.mgrs {
+		if rep, ok := cli.ref.GetIfPresent(corei); ok && rep.hot != nil {
+			out.accumulate(rep.hot.stats)
+		}
+	}
+	return out
+}
+
+// HotCached counts entries currently cached across the client's cores.
+func (cli *Client) HotCached() int {
+	n := 0
+	for corei := range cli.mgrs {
+		if rep, ok := cli.ref.GetIfPresent(corei); ok && rep.hot != nil {
+			n += rep.hot.cache.len()
+		}
+	}
+	return n
 }
 
 func (cli *Client) getFrom(c *event.Ctx, key []byte, reps []int, i int, missed []int, cb Callback) {
@@ -173,6 +442,28 @@ func (cli *Client) readRepair(c *event.Ctx, key []byte, missed []int, r Response
 // survive the range's cutover.
 func (cli *Client) Set(c *event.Ctx, key, value []byte, flags uint32, cb Callback) {
 	cli.cl.noteSet(key)
+	if cli.opt.HotKey.Enable {
+		// Coherence, write path: drop every core's cached copy now (a
+		// read racing the write must not see the old value from this
+		// client), then re-stamp on the quorum ack - the server echoes
+		// the entry's new CAS, so the written value re-enters the cache
+		// already carrying its owner stamp. Pure invalidation would
+		// instead evict the hottest keys ~10 times per second of Zipf
+		// write traffic per core, capping the hit rate the cache exists
+		// to provide.
+		cli.invalidateHot(c, key, false)
+		gen := cli.tombGen
+		inner := cb
+		valCopy := append([]byte(nil), value...)
+		cb = func(c *event.Ctx, r Response) {
+			if r.OK() {
+				cli.restampHot(c, key, valCopy, flags, r.CAS, gen)
+			}
+			if inner != nil {
+				inner(c, r)
+			}
+		}
+	}
 	cli.quorumWrite(c, key, cb, func(opaque uint32) []byte {
 		return memcached.BuildSet(key, value, flags, opaque)
 	}, func(r Response) bool { return r.OK() })
@@ -185,6 +476,9 @@ func (cli *Client) Set(c *event.Ctx, key, value []byte, flags uint32, cb Callbac
 // in-flight stream's pre-delete snapshot resurrects at the destination.
 func (cli *Client) Delete(c *event.Ctx, key []byte, cb Callback) {
 	cli.cl.noteDelete(key)
+	if cli.opt.HotKey.Enable {
+		cli.invalidateHot(c, key, true)
+	}
 	cli.quorumWrite(c, key, cb, func(opaque uint32) []byte {
 		return memcached.BuildDelete(key, opaque)
 	}, func(r Response) bool { return r.OK() || r.Status == memcached.StatusKeyNotFound })
@@ -262,6 +556,8 @@ type clientRep struct {
 	cli   *Client
 	mgr   *event.Manager
 	pools map[int]*backendPool
+	// hot is the core's hot-key sketch + cache (nil when disabled).
+	hot *hotKeyRep
 }
 
 // backendPool is one core's connections to one backend.
@@ -460,7 +756,7 @@ func (cc *clientConn) onData(c *event.Ctx, payload *iobuf.IOBuf) {
 		if op.cb == nil {
 			continue
 		}
-		resp := Response{Status: hdr.Status}
+		resp := Response{Status: hdr.Status, CAS: hdr.CAS}
 		if int(hdr.ExtrasLen) >= memcached.GetResponseExtrasLen {
 			resp.Flags = binary.BigEndian.Uint32(body)
 		}

@@ -26,6 +26,10 @@ type Options struct {
 	// VNodes overrides the ring's virtual points per backend (default
 	// DefaultVNodes).
 	VNodes int
+	// HotKey configures the client Ebb's hot-key read cache for every
+	// client created on this cluster (a client's own ClientOptions.HotKey
+	// takes precedence when enabled). See HotKeyOptions.
+	HotKey HotKeyOptions
 }
 
 // Cluster is a sharded memcached deployment: the hosted frontend plus N
@@ -39,11 +43,15 @@ type Cluster struct {
 	// all R replicas and ack on a majority quorum; reads prefer the
 	// primary and fail over along the successor list.
 	Replicas int
+	// HotKey is the deployment-wide hot-key cache configuration clients
+	// inherit (Options.HotKey).
+	HotKey HotKeyOptions
 
-	down           []bool // per backend: evicted from the ring
-	draining       []bool // off the ring but still serving its old share (live decommission)
-	decommissioned []bool // permanently removed; never restored by the monitor
-	watchers       []func(backend int, up bool)
+	down            []bool // per backend: evicted from the ring
+	draining        []bool // off the ring but still serving its old share (live decommission)
+	decommissioned  []bool // permanently removed; never restored by the monitor
+	watchers        []func(backend int, up bool)
+	handoffWatchers []func(pending []MoveRange)
 
 	// handoff, when non-nil, is an in-progress migration: reads and
 	// writes for keys inside a still-pending moved range are dual-routed
@@ -98,6 +106,7 @@ func NewCluster(backends int, opt Options) *Cluster {
 		Sys:      hosted.NewSystemCores(opt.FrontendCores),
 		Ring:     NewRing(opt.VNodes),
 		Replicas: opt.Replicas,
+		HotKey:   opt.HotKey,
 	}
 	for i := 0; i < backends; i++ {
 		cl.AddBackend(opt.CoresPerBackend)
@@ -138,6 +147,14 @@ func (cl *Cluster) AddLoadGenerator(cores int) *hosted.Node {
 // synchronously inside EvictBackend/RestoreBackend.
 func (cl *Cluster) Watch(fn func(backend int, up bool)) {
 	cl.watchers = append(cl.watchers, fn)
+}
+
+// WatchHandoff registers fn to be called synchronously when a
+// migration's dual-routing window opens, with the ranges about to
+// move. The client Ebb uses it to flush hot-key cache entries covered
+// by the migration before any dual-routed operation runs.
+func (cl *Cluster) WatchHandoff(fn func(pending []MoveRange)) {
+	cl.handoffWatchers = append(cl.handoffWatchers, fn)
 }
 
 // EvictBackend removes a backend from the ring, rerouting its keys to
@@ -245,6 +262,9 @@ func (cl *Cluster) beginHandoff(prev *Ring, plan []MoveRange) {
 		prev:    prev,
 		pending: append([]MoveRange(nil), plan...),
 		deleted: map[string]bool{},
+	}
+	for _, fn := range cl.handoffWatchers {
+		fn(cl.handoff.pending)
 	}
 }
 

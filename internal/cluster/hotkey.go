@@ -1,0 +1,373 @@
+package cluster
+
+import "ebbrt/internal/sim"
+
+// Hot-key read caching (the ROADMAP's Zipf-aware-placement item).
+//
+// The ETC workload's Zipf skew concentrates the hottest keys on
+// whichever shard owns them: past ~4 backends the owning shard
+// saturates while added backends idle in the skewed tail. The classic
+// front-cache move absorbs those reads before they reach the owner: a
+// small, per-core LRU inside the client Ebb, admitting only keys a
+// frequency sketch has seen often enough to sit at the top of the Zipf
+// curve.
+//
+// Coherence is version-stamped: every cached value carries the CAS the
+// owning server stamped on the entry (PR 4's Entry.CAS, echoed in
+// binary response headers). Three mechanisms bound staleness:
+//
+//   - the client's own writes invalidate the cached copy on every core
+//     before the write is even submitted;
+//   - a hard TTL: an entry older than TTL is never served, so a read
+//     can lag another client's write by at most TTL;
+//   - sampled revalidation: every RevalidateEvery-th cache hit also
+//     fetches the entry from its replica set and re-stamps (or drops)
+//     the cached copy when the CAS moved.
+//
+// During a migration handoff the cache stands down for the moved
+// ranges: entries covered by a pending MoveRange are flushed when the
+// dual-routing window opens, and reads inside the window bypass the
+// cache entirely, so a cutover can never serve a hit that predates it.
+//
+// CAS scope: stamps are per-server counters, so the coherence rules
+// above assume one authoritative stamper per key - R=1, the hot-key
+// experiment's deployment. Under R>1 a fill served by one replica and a
+// write acked by another carry incomparable stamps, and the
+// monotonic-CAS guards degrade: coherence then rests on the TTL bound
+// alone. Extending the stamps across replicas (or scoping the cache to
+// the primary's responses) is the ROADMAP follow-on.
+
+// HotKeyOptions tunes the client Ebb's hot-key cache. The zero value
+// disables it; Enable with everything else zero selects the defaults.
+type HotKeyOptions struct {
+	// Enable turns the cache on. Designed for R=1 deployments: CAS
+	// stamps are per-server, so under replication the version-stamped
+	// coherence degrades to the TTL bound (see the package comment at
+	// the top of this file).
+	Enable bool
+	// Disable, on a ClientOptions.HotKey, keeps the cache off for that
+	// client even when the cluster's Options.HotKey enables it for
+	// clients generally (e.g. a writer that must not spend events on
+	// cache maintenance). Meaningless on a cluster's options.
+	Disable bool
+	// Capacity bounds the cached entries per core (default 128).
+	Capacity int
+	// TTL is the hard staleness bound: an entry older than this is
+	// never served (default 2ms).
+	TTL sim.Time
+	// PromoteMin is the sketch estimate at which a key qualifies as hot
+	// and its next read fills the cache (default 8).
+	PromoteMin uint32
+	// SketchWidth and SketchDepth size the count-min sketch (defaults
+	// 1024 x 4: ~16KB per core, collision error well under PromoteMin
+	// for the workloads the experiments drive).
+	SketchWidth int
+	SketchDepth int
+	// RevalidateEvery samples one in N cache hits for asynchronous CAS
+	// revalidation against the replica set (default 16; negative
+	// disables sampling).
+	RevalidateEvery int
+	// StalenessProbe, for experiments and tests, compares every served
+	// hit against the owning shard's store directly (a simulation-level
+	// peek, not a data-path operation) and records how stale served
+	// values actually get. See HotKeyStats.StaleServes/MaxStaleAge.
+	StalenessProbe bool
+}
+
+// WithDefaults returns o with every unset field at its default, as
+// NewClientWithOptions resolves it (exported so experiments can report
+// the effective configuration).
+func (o HotKeyOptions) WithDefaults() HotKeyOptions {
+	if o.Capacity <= 0 {
+		o.Capacity = 128
+	}
+	if o.TTL <= 0 {
+		o.TTL = 2 * sim.Millisecond
+	}
+	if o.PromoteMin == 0 {
+		o.PromoteMin = 8
+	}
+	if o.SketchWidth <= 0 {
+		o.SketchWidth = 1024
+	}
+	if o.SketchDepth <= 0 {
+		o.SketchDepth = 4
+	}
+	if o.RevalidateEvery == 0 {
+		o.RevalidateEvery = 16
+	}
+	return o
+}
+
+// HotKeyStats counts the cache's behavior, summed across the client's
+// per-core representatives by Client.HotKeyStats.
+type HotKeyStats struct {
+	// Hits and Misses partition lookups on the read path (Misses counts
+	// only lookups eligible for caching, not handoff bypasses).
+	Hits, Misses uint64
+	// Fills counts entries admitted after sketch promotion; Evictions
+	// counts LRU displacements.
+	Fills, Evictions uint64
+	// Invalidations counts entries dropped by the client's own writes;
+	// Flushes counts entries dropped when a migration handoff opened
+	// over their range.
+	Invalidations, Flushes uint64
+	// Revalidations counts sampled CAS checks; Refreshes counts the
+	// subset that found a moved CAS and re-stamped the entry.
+	Revalidations, Refreshes uint64
+	// Expired counts lookups that found an entry past its TTL.
+	Expired uint64
+	// HandoffBypass counts reads that skipped the cache because their
+	// key's range was mid-migration.
+	HandoffBypass uint64
+	// StaleServes and MaxStaleAge are filled only under StalenessProbe:
+	// hits whose served CAS no longer matched the owner's store, and
+	// the oldest age at which any such hit was served. The TTL is the
+	// hard bound: MaxStaleAge <= TTL always holds.
+	StaleServes uint64
+	MaxStaleAge sim.Time
+}
+
+func (s *HotKeyStats) accumulate(o HotKeyStats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Fills += o.Fills
+	s.Evictions += o.Evictions
+	s.Invalidations += o.Invalidations
+	s.Flushes += o.Flushes
+	s.Revalidations += o.Revalidations
+	s.Refreshes += o.Refreshes
+	s.Expired += o.Expired
+	s.HandoffBypass += o.HandoffBypass
+	s.StaleServes += o.StaleServes
+	if o.MaxStaleAge > s.MaxStaleAge {
+		s.MaxStaleAge = o.MaxStaleAge
+	}
+}
+
+// HitRate is served hits over cache-eligible lookups.
+func (s HotKeyStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// cmSketch is a count-min frequency sketch with conservative update:
+// an increment raises only the cells at the current minimum, tightening
+// the overestimate. Purely deterministic - the same key stream always
+// produces the same estimates, which is what makes cache admission
+// reproducible run-to-run.
+type cmSketch struct {
+	width uint64
+	rows  [][]uint32
+}
+
+func newCMSketch(width, depth int) *cmSketch {
+	s := &cmSketch{width: uint64(width), rows: make([][]uint32, depth)}
+	for i := range s.rows {
+		s.rows[i] = make([]uint32, width)
+	}
+	return s
+}
+
+// cell computes row i's probe index by double hashing: (h1 + i*h2) mod
+// width. h2 is derived once per operation (sketchH2) - touch probes
+// every row twice, and this sits on the read hot path.
+func (s *cmSketch) cell(h, h2 uint64, row int) uint32 {
+	return uint32((h + uint64(row)*h2) % s.width)
+}
+
+func sketchH2(h uint64) uint64 { return mix64(h ^ 0xa5a5a5a5a5a5a5a5) }
+
+// estimate returns the sketch's count for the key hash.
+func (s *cmSketch) estimate(h uint64) uint32 {
+	h2 := sketchH2(h)
+	est := s.rows[0][s.cell(h, h2, 0)]
+	for i := 1; i < len(s.rows); i++ {
+		if v := s.rows[i][s.cell(h, h2, i)]; v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// touch counts one access and returns the updated estimate
+// (conservative update: only cells at the minimum are raised).
+func (s *cmSketch) touch(h uint64) uint32 {
+	est := s.estimate(h) + 1
+	h2 := sketchH2(h)
+	for i := range s.rows {
+		if c := s.cell(h, h2, i); s.rows[i][c] < est {
+			s.rows[i][c] = est
+		}
+	}
+	return est
+}
+
+// cacheEntry is one cached value on the LRU list (head = most recent).
+type cacheEntry struct {
+	key      string
+	hash     uint64 // ringHash(key), for range-scoped flushes
+	value    []byte
+	flags    uint32
+	cas      uint64 // the owner's Entry.CAS stamp at fill time
+	storedAt sim.Time
+	prev     *cacheEntry
+	next     *cacheEntry
+}
+
+// hotCache is the per-core, size-bounded LRU. It is representative
+// state: only its owning core touches it, so there are no locks - the
+// Ebb pattern applied to the cache itself.
+type hotCache struct {
+	cap   int
+	ttl   sim.Time
+	m     map[string]*cacheEntry
+	head  *cacheEntry
+	tail  *cacheEntry
+	stats *HotKeyStats
+}
+
+func newHotCache(cap int, ttl sim.Time, stats *HotKeyStats) *hotCache {
+	return &hotCache{cap: cap, ttl: ttl, m: make(map[string]*cacheEntry, cap), stats: stats}
+}
+
+func (hc *hotCache) len() int { return len(hc.m) }
+
+// get returns the live cached entry for key, bumping it to MRU. An
+// entry past its TTL is dropped and reported absent - the hard
+// staleness bound.
+func (hc *hotCache) get(key []byte, now sim.Time) (*cacheEntry, bool) {
+	e, ok := hc.m[string(key)]
+	if !ok {
+		return nil, false
+	}
+	if now-e.storedAt > hc.ttl {
+		hc.stats.Expired++
+		hc.remove(e)
+		return nil, false
+	}
+	hc.bump(e)
+	return e, true
+}
+
+// put admits (or refreshes) an entry, evicting from the LRU tail when
+// over capacity. CAS stamps from one server are monotonic, so a put
+// carrying an older stamp than the cached one is a reordered delivery
+// (a read response overtaken by a write-path re-stamp) and is dropped
+// rather than letting it roll the entry back.
+func (hc *hotCache) put(key string, hash uint64, value []byte, flags uint32, cas uint64, now sim.Time) {
+	if e, ok := hc.m[key]; ok {
+		if cas < e.cas {
+			return
+		}
+		e.value = value
+		e.flags = flags
+		e.cas = cas
+		e.storedAt = now
+		hc.bump(e)
+		return
+	}
+	e := &cacheEntry{key: key, hash: hash, value: value, flags: flags, cas: cas, storedAt: now}
+	hc.m[key] = e
+	hc.pushFront(e)
+	hc.stats.Fills++
+	for len(hc.m) > hc.cap {
+		hc.stats.Evictions++
+		hc.remove(hc.tail)
+	}
+}
+
+// invalidate drops key's entry, reporting whether one was present.
+func (hc *hotCache) invalidate(key []byte) bool {
+	e, ok := hc.m[string(key)]
+	if !ok {
+		return false
+	}
+	hc.remove(e)
+	return true
+}
+
+// flushWhere drops every entry whose key hash satisfies pred,
+// returning how many were dropped. The handoff watcher uses it to
+// clear the ranges a migration is about to move.
+func (hc *hotCache) flushWhere(pred func(hash uint64) bool) int {
+	n := 0
+	for e := hc.head; e != nil; {
+		next := e.next
+		if pred(e.hash) {
+			hc.remove(e)
+			n++
+		}
+		e = next
+	}
+	return n
+}
+
+func (hc *hotCache) pushFront(e *cacheEntry) {
+	e.prev = nil
+	e.next = hc.head
+	if hc.head != nil {
+		hc.head.prev = e
+	}
+	hc.head = e
+	if hc.tail == nil {
+		hc.tail = e
+	}
+}
+
+func (hc *hotCache) unlink(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		hc.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		hc.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (hc *hotCache) remove(e *cacheEntry) {
+	hc.unlink(e)
+	delete(hc.m, e.key)
+}
+
+func (hc *hotCache) bump(e *cacheEntry) {
+	if hc.head == e {
+		return
+	}
+	hc.unlink(e)
+	hc.pushFront(e)
+}
+
+// keysMRU returns the cached keys in LRU order (most recent first) -
+// determinism tests compare two runs' exact cache states.
+func (hc *hotCache) keysMRU() []string {
+	out := make([]string, 0, len(hc.m))
+	for e := hc.head; e != nil; e = e.next {
+		out = append(out, e.key)
+	}
+	return out
+}
+
+// hotKeyRep is one core's hot-key machinery: its own sketch, its own
+// LRU, its own counters. Created lazily with the clientRep it belongs
+// to.
+type hotKeyRep struct {
+	opt        HotKeyOptions
+	sketch     *cmSketch
+	cache      *hotCache
+	stats      HotKeyStats
+	sinceReval int
+}
+
+func newHotKeyRep(opt HotKeyOptions) *hotKeyRep {
+	hk := &hotKeyRep{opt: opt}
+	hk.sketch = newCMSketch(opt.SketchWidth, opt.SketchDepth)
+	hk.cache = newHotCache(opt.Capacity, opt.TTL, &hk.stats)
+	return hk
+}

@@ -1,0 +1,135 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"ebbrt/internal/sim"
+)
+
+func TestCMSketchCountsAndConservativeUpdate(t *testing.T) {
+	s := newCMSketch(1024, 4)
+	h := ringHash([]byte("hot-key"))
+	for i := 1; i <= 20; i++ {
+		if got := s.touch(h); got != uint32(i) {
+			t.Fatalf("touch %d: estimate %d", i, got)
+		}
+	}
+	if got := s.estimate(h); got != 20 {
+		t.Fatalf("estimate after 20 touches: %d", got)
+	}
+	if got := s.estimate(ringHash([]byte("never-seen"))); got > 20 {
+		t.Fatalf("unseen key estimated %d (row collision should stay <= hottest count)", got)
+	}
+	// A cold key's estimate must not be inflated past its own touch
+	// count plus collisions; with one hot key in a 1024-wide, 4-deep
+	// sketch a disjoint key should estimate 0.
+	cold := ringHash([]byte("cold-key"))
+	if got := s.estimate(cold); got != 0 {
+		t.Fatalf("cold key pre-touch estimate %d, want 0", got)
+	}
+}
+
+func TestHotCacheLRUEvictionOrder(t *testing.T) {
+	var stats HotKeyStats
+	hc := newHotCache(3, sim.Second, &stats)
+	now := sim.Time(0)
+	for i := 0; i < 3; i++ {
+		k := fmt.Sprintf("k%d", i)
+		hc.put(k, uint64(i), []byte(k), 0, uint64(i+1), now)
+	}
+	// Touch k0 so k1 becomes the LRU victim.
+	if _, ok := hc.get([]byte("k0"), now); !ok {
+		t.Fatal("k0 missing")
+	}
+	hc.put("k3", 3, []byte("k3"), 0, 10, now)
+	if stats.Evictions != 1 {
+		t.Fatalf("evictions %d, want 1", stats.Evictions)
+	}
+	if _, ok := hc.get([]byte("k1"), now); ok {
+		t.Fatal("k1 survived eviction despite being LRU")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if _, ok := hc.get([]byte(k), now); !ok {
+			t.Fatalf("%s evicted, want it cached", k)
+		}
+	}
+}
+
+func TestHotCacheTTLExpiry(t *testing.T) {
+	var stats HotKeyStats
+	ttl := 2 * sim.Millisecond
+	hc := newHotCache(8, ttl, &stats)
+	hc.put("k", 1, []byte("v"), 0, 1, 0)
+	if _, ok := hc.get([]byte("k"), ttl); !ok {
+		t.Fatal("entry at exactly TTL age should still serve")
+	}
+	if _, ok := hc.get([]byte("k"), ttl+1); ok {
+		t.Fatal("entry past TTL served")
+	}
+	if stats.Expired != 1 {
+		t.Fatalf("expired %d, want 1", stats.Expired)
+	}
+	if hc.len() != 0 {
+		t.Fatal("expired entry not dropped")
+	}
+}
+
+func TestHotCachePutCASMonotonic(t *testing.T) {
+	var stats HotKeyStats
+	hc := newHotCache(8, sim.Second, &stats)
+	hc.put("k", 1, []byte("new"), 7, 5, 0)
+	// A reordered older response must not roll the entry back.
+	hc.put("k", 1, []byte("old"), 0, 3, 1)
+	e, ok := hc.get([]byte("k"), 1)
+	if !ok || string(e.value) != "new" || e.cas != 5 {
+		t.Fatalf("entry rolled back to %+v", e)
+	}
+	hc.put("k", 1, []byte("newer"), 1, 9, 2)
+	if e, _ := hc.get([]byte("k"), 2); string(e.value) != "newer" || e.cas != 9 {
+		t.Fatalf("newer CAS not applied: %+v", e)
+	}
+}
+
+// TestSketchPromotionEvictionDeterminism feeds the same seeded Zipf
+// stream through two independent hot-key representatives applying the
+// read-path admission rule, and requires byte-identical cache state -
+// promotion and eviction must be a pure function of the op stream.
+func TestSketchPromotionEvictionDeterminism(t *testing.T) {
+	run := func() ([]string, HotKeyStats) {
+		hk := newHotKeyRep(HotKeyOptions{Enable: true, Capacity: 32, PromoteMin: 4}.WithDefaults())
+		rng := sim.NewRng(99)
+		zipf := sim.NewZipf(rng, 1.2, 2000)
+		now := sim.Time(0)
+		for i := 0; i < 50000; i++ {
+			now += 10 * sim.Microsecond
+			keyIdx := zipf.Next()
+			key := []byte(fmt.Sprintf("zipf-key-%d", keyIdx))
+			h := ringHash(key)
+			if _, ok := hk.cache.get(key, now); ok {
+				hk.stats.Hits++
+				continue
+			}
+			hk.stats.Misses++
+			if hk.sketch.touch(h) >= hk.opt.PromoteMin {
+				hk.cache.put(string(key), h, []byte("v"), 0, uint64(i), now)
+			}
+		}
+		return hk.cache.keysMRU(), hk.stats
+	}
+	keysA, statsA := run()
+	keysB, statsB := run()
+	if !reflect.DeepEqual(keysA, keysB) {
+		t.Fatalf("cache contents diverged:\n%v\n%v", keysA, keysB)
+	}
+	if statsA != statsB {
+		t.Fatalf("stats diverged:\n%+v\n%+v", statsA, statsB)
+	}
+	if len(keysA) != 32 {
+		t.Fatalf("cache holds %d entries, want full capacity 32", len(keysA))
+	}
+	if statsA.Evictions == 0 || statsA.Hits == 0 {
+		t.Fatalf("stream did not exercise eviction and hits: %+v", statsA)
+	}
+}

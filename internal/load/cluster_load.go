@@ -49,6 +49,9 @@ type ClusterLoadConfig struct {
 	ETC ETCConfig
 	// Events are faults injected at fixed offsets into the measurement.
 	Events []ChaosEvent
+	// StatsTopK is how many keys the per-key frequency summary keeps
+	// (default DefaultStatsTopK).
+	StatsTopK int
 }
 
 // LoadBucket is one timeline slot of a measured run.
@@ -84,6 +87,9 @@ type ClusterLoadResult struct {
 	MeasuredFrom sim.Time
 	// Populated counts keys successfully written during prepopulation.
 	Populated int
+	// Keys is the measured window's per-key frequency summary (the
+	// offered hot-key share).
+	Keys KeyStats
 }
 
 // WindowStats aggregates the timeline buckets fully inside [from, to)
@@ -119,6 +125,7 @@ type clusterLoad struct {
 	kv        KVClient
 	rec       *sim.Recorder
 	arrRng    *sim.Rng
+	keyFreq   *keyCounter
 	measStart sim.Time
 	measEnd   sim.Time
 	timeline  []LoadBucket
@@ -150,6 +157,7 @@ func RunClusterLoad(rt appnet.Runtime, kv KVClient, cfg ClusterLoadConfig) Clust
 		rec:    sim.NewRecorder(int(cfg.TargetRPS * float64(cfg.Duration) / 1e9)),
 		arrRng: sim.NewRng(cfg.Seed ^ 0x9e3779b9),
 	}
+	m.keyFreq = newKeyCounter(len(m.work.Keys))
 	k := rt.Kernel()
 	mgrs := rt.Mgrs()
 
@@ -200,6 +208,7 @@ func RunClusterLoad(rt appnet.Runtime, kv KVClient, cfg ClusterLoadConfig) Clust
 		BucketWidth:  cfg.Bucket,
 		MeasuredFrom: m.measStart,
 		Populated:    populated,
+		Keys:         m.keyFreq.stats(cfg.StatsTopK),
 	}
 }
 
@@ -213,6 +222,9 @@ func (m *clusterLoad) scheduleNextArrival(k *sim.Kernel, mgrs []*event.Manager) 
 		}
 		keyIdx, isGet := m.work.NextOp()
 		arrival := k.Now()
+		if arrival >= m.measStart {
+			m.keyFreq.note(keyIdx)
+		}
 		mgr := mgrs[int(arrival/sim.Microsecond)%len(mgrs)]
 		mgr.Spawn(func(c *event.Ctx) {
 			done := func(c *event.Ctx, o OpOutcome) { m.record(c, arrival, isGet, o) }

@@ -108,6 +108,9 @@ type MutilateConfig struct {
 	// lines, responses are matched in connection FIFO order rather than
 	// by opaque.
 	TextProtocol bool
+	// StatsTopK is how many keys the per-key frequency summary keeps
+	// (default DefaultStatsTopK).
+	StatsTopK int
 }
 
 // DefaultMutilate mirrors the paper's setup: pipeline depth 4 over TCP.
@@ -130,6 +133,14 @@ type MutilateResult struct {
 	Mean        sim.Time
 	P99         sim.Time
 	Samples     int
+	// Keys is the measured window's per-key frequency summary: the
+	// direct view of the workload's Zipf skew (hot-key share) that
+	// experiments previously had to infer from shard imbalance.
+	Keys KeyStats
+	// PerShard breaks the aggregate down by backend: each shard's
+	// measured completions and RPS, exposing exactly which shard the
+	// skewed tail concentrates on.
+	PerShard []ShardLoad
 }
 
 // String renders the point like the paper's axes.
@@ -150,6 +161,7 @@ type mconn struct {
 	m           *mutilate
 	conn        appnet.Conn
 	mgr         *event.Manager
+	shard       int
 	queue       []pendingReq
 	inflight    map[uint32]sim.Time // opaque -> arrival time
 	nextOpaque  uint32
@@ -184,6 +196,8 @@ type mutilate struct {
 	rrNext    []int      // per-shard round-robin cursor
 	rec       *sim.Recorder
 	completed uint64
+	perShard  []uint64 // measured completions per shard
+	keyFreq   *keyCounter
 	measStart sim.Time
 	measEnd   sim.Time
 	arrRng    *sim.Rng
@@ -205,13 +219,15 @@ func RunMutilate(client appnet.Runtime, dial Dial, srv *memcached.Server, cfg Mu
 func RunMutilateSharded(client appnet.Runtime, shards []Shard, route func(key []byte) int, cfg MutilateConfig) MutilateResult {
 	work := NewWorkload(cfg.ETC, cfg.Seed)
 	m := &mutilate{
-		cfg:    cfg,
-		work:   work,
-		client: client,
-		route:  make([]int, len(work.Keys)),
-		rrNext: make([]int, len(shards)),
-		rec:    sim.NewRecorder(int(cfg.TargetRPS * float64(cfg.Duration) / 1e9)),
-		arrRng: sim.NewRng(cfg.Seed ^ 0x9e3779b9),
+		cfg:      cfg,
+		work:     work,
+		client:   client,
+		route:    make([]int, len(work.Keys)),
+		rrNext:   make([]int, len(shards)),
+		rec:      sim.NewRecorder(int(cfg.TargetRPS * float64(cfg.Duration) / 1e9)),
+		perShard: make([]uint64, len(shards)),
+		keyFreq:  newKeyCounter(len(work.Keys)),
+		arrRng:   sim.NewRng(cfg.Seed ^ 0x9e3779b9),
 	}
 	// Route the keyspace once, prepopulating each shard with its share.
 	perShard := make([][][]byte, len(shards))
@@ -239,7 +255,7 @@ func RunMutilateSharded(client appnet.Runtime, shards []Shard, route func(key []
 	for s, sh := range shards {
 		dial := sh.Dial
 		for i := 0; i < cfg.Connections; i++ {
-			mc := &mconn{m: m, mgr: mgrs[nextCore%len(mgrs)], inflight: map[uint32]sim.Time{}}
+			mc := &mconn{m: m, mgr: mgrs[nextCore%len(mgrs)], shard: s, inflight: map[uint32]sim.Time{}}
 			nextCore++
 			m.shards[s] = append(m.shards[s], mc)
 			mc.mgr.Spawn(func(c *event.Ctx) {
@@ -269,6 +285,15 @@ func RunMutilateSharded(client appnet.Runtime, shards []Shard, route func(key []
 		Mean:        m.rec.Mean(),
 		P99:         m.rec.Percentile(99),
 		Samples:     m.rec.Count(),
+		Keys:        m.keyFreq.stats(cfg.StatsTopK),
+		PerShard:    make([]ShardLoad, len(shards)),
+	}
+	for s, n := range m.perShard {
+		res.PerShard[s] = ShardLoad{
+			Shard:     s,
+			Completed: n,
+			RPS:       float64(n) / (float64(cfg.Duration) / 1e9),
+		}
 	}
 	return res
 }
@@ -283,6 +308,9 @@ func (m *mutilate) scheduleNextArrival(k *sim.Kernel) {
 			return
 		}
 		keyIdx, isGet := m.work.NextOp()
+		if k.Now() >= m.measStart {
+			m.keyFreq.note(keyIdx)
+		}
 		pool := m.shards[m.route[keyIdx]]
 		mc := pool[m.rrNext[m.route[keyIdx]]%len(pool)]
 		m.rrNext[m.route[keyIdx]]++
@@ -367,6 +395,7 @@ func (mc *mconn) onData(c *event.Ctx, payload *iobuf.IOBuf) {
 		if arrival >= mc.m.measStart && now <= mc.m.measEnd {
 			mc.m.rec.Add(now - arrival)
 			mc.m.completed++
+			mc.m.perShard[mc.shard]++
 		}
 	}
 	if consumed < len(data) {

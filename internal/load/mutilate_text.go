@@ -108,6 +108,7 @@ func (mc *mconn) decodeText(c *event.Ctx, data []byte) int {
 		if head.arrival >= mc.m.measStart && now <= mc.m.measEnd {
 			mc.m.rec.Add(now - head.arrival)
 			mc.m.completed++
+			mc.m.perShard[mc.shard]++
 		}
 	}
 }

@@ -61,9 +61,14 @@ func (r *Reader) Lock() { r.state.Store(r.stateEpoch()) }
 func (r *Reader) stateEpoch() uint64 { return domainEpochHint.Load() }
 
 // domainEpochHint lets Lock avoid a pointer back to the domain; all
-// domains share the hint counter, which only ever needs to be a recent
-// lower bound of any domain's epoch for correctness (a reader stamped with
-// an older epoch simply delays the grace period by one check round).
+// domains share the hint counter, and Synchronize draws its grace-period
+// epoch from the SAME counter. The two must not diverge: comparing a
+// reader's globally-stamped epoch against a domain-local one let a
+// reader stamped by a busier domain's higher epoch masquerade as having
+// entered after the grace period, and Synchronize would skip a reader
+// still inside its critical section (exposed by shuffled test order;
+// equally reachable by any process with two domains, e.g. two RCU
+// tables).
 var domainEpochHint atomic.Uint64
 
 func init() { domainEpochHint.Store(1) }
@@ -77,8 +82,12 @@ func (r *Reader) Unlock() { r.state.Store(0) }
 func (d *Domain) Synchronize() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	newEpoch := d.epoch.Add(1)
-	domainEpochHint.Add(1)
+	d.epoch.Add(1)
+	// The grace-period boundary is the shared hint counter - the value
+	// readers stamp themselves with. A reader observed at or above
+	// newEpoch locked after this increment, hence after the caller
+	// unpublished, and holds no stale reference.
+	newEpoch := domainEpochHint.Add(1)
 	for _, r := range d.readers {
 		for {
 			s := r.state.Load()

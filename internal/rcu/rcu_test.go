@@ -29,6 +29,36 @@ func TestSynchronizeWaitsForReader(t *testing.T) {
 	<-done
 }
 
+// TestSynchronizeWaitsAcrossDomains: readers stamp themselves with the
+// process-wide epoch hint, so a domain whose neighbor has synchronized
+// many times must still wait for its own in-section readers. (The old
+// domain-local grace-period comparison returned immediately here,
+// reclaiming under a live reader.)
+func TestSynchronizeWaitsAcrossDomains(t *testing.T) {
+	busy := NewDomain()
+	for i := 0; i < 100; i++ {
+		busy.Synchronize()
+	}
+	d := NewDomain()
+	r := d.Register()
+	r.Lock()
+	done := make(chan struct{})
+	entered := make(chan struct{})
+	go func() {
+		close(entered)
+		d.Synchronize()
+		close(done)
+	}()
+	<-entered
+	select {
+	case <-done:
+		t.Fatal("Synchronize returned while reader inside critical section")
+	default:
+	}
+	r.Unlock()
+	<-done
+}
+
 func TestSynchronizeIgnoresQuiescentReaders(t *testing.T) {
 	d := NewDomain()
 	d.Register() // never locks
