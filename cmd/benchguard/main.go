@@ -1,9 +1,10 @@
 // Command benchguard is the CI benchmark regression gate: it runs the
-// cluster-scaling and hot-key experiments at smoke scale, writes the
-// measured numbers to a JSON artifact, and exits non-zero if any
-// headline number regresses below its committed floor. The floors are
-// deliberately below the measured values (4x scaling measured vs 3.0
-// floor; ~1.7x hot-key improvement measured vs 1.3 floor) so the gate
+// cluster-scaling, hot-key, and lossy-link experiments at smoke scale,
+// writes the measured numbers to JSON artifacts, and exits non-zero if
+// any headline number regresses below its committed floor. The floors
+// are deliberately below the measured values (4x scaling measured vs
+// 3.0 floor; ~1.7x hot-key improvement measured vs 1.3 floor; ~6x
+// adaptive-RTO advantage at 5% loss measured vs 1.5 floor) so the gate
 // trips on real regressions, not noise.
 package main
 
@@ -44,10 +45,32 @@ type report struct {
 	Pass           bool    `json:"pass"`
 }
 
+// lossyReport is the BENCH_lossy.json schema: the self-tuning TCP data
+// path versus the fixed-RTO baseline under frame loss at the switch.
+type lossyReport struct {
+	LossRate        float64 `json:"loss_rate"`
+	AdaptiveRPS     float64 `json:"adaptive_rps"`
+	AdaptiveP99Us   float64 `json:"adaptive_p99_us"`
+	AdaptiveRexmits uint64  `json:"adaptive_retransmits"`
+	AdaptiveFastRex uint64  `json:"adaptive_fast_retransmits"`
+	AdaptiveNetErrs uint64  `json:"adaptive_net_errs"`
+	FixedRPS        float64 `json:"fixed_rps"`
+	FixedP99Us      float64 `json:"fixed_p99_us"`
+	DroppedFrames   uint64  `json:"dropped_frames"`
+	// ThroughputRatio (adaptive/fixed completed RPS) is the number the
+	// gate guards.
+	ThroughputRatio float64 `json:"throughput_ratio"`
+	MinRatio        float64 `json:"floor_throughput_ratio"`
+	Pass            bool    `json:"pass"`
+}
+
 func main() {
 	out := flag.String("out", "BENCH_hotkey.json", "report artifact path")
+	lossyOut := flag.String("lossy-out", "BENCH_lossy.json", "lossy-link report artifact path")
 	minScaling := flag.Float64("min-scaling", 3.0, "floor for 4-backend scaling speedup")
 	minImprove := flag.Float64("min-improvement", 1.3, "floor for the hot-key skewed-tail improvement")
+	minLossy := flag.Float64("min-lossy-ratio", 1.5, "floor for the adaptive/fixed throughput ratio at 5% loss")
+	lossRate := flag.Float64("loss-rate", 0.05, "frame loss probability for the lossy gate")
 	rate := flag.Float64("rate", 280000, "hot-key experiment offered RPS per backend")
 	scaleRate := flag.Float64("scale-rate", 200000, "scaling experiment offered RPS per backend")
 	durMs := flag.Int("duration", 40, "measured window per point (ms)")
@@ -106,6 +129,42 @@ func main() {
 	}
 	fmt.Printf("\nbenchguard: wrote %s\n%s", *out, data)
 
+	fmt.Printf("\nbenchguard: lossy-link smoke (%.0f%% frame loss, adaptive vs fixed RTO)\n", 100**lossRate)
+	lr := experiments.Lossy(experiments.LossyOptions{
+		Backends:  2,
+		Replicas:  2,
+		TargetRPS: 10000,
+		Duration:  60 * sim.Millisecond,
+		LossRates: []float64{*lossRate},
+	})
+	fmt.Print(experiments.FormatLossy(lr))
+	lp := lr.Points[0]
+	lrep := lossyReport{
+		LossRate:        lp.LossRate,
+		AdaptiveRPS:     lp.Adaptive.Load.AchievedRPS,
+		AdaptiveP99Us:   lp.Adaptive.Load.P99.Micros(),
+		AdaptiveRexmits: lp.Adaptive.Tcp.Retransmits,
+		AdaptiveFastRex: lp.Adaptive.Tcp.FastRetransmits,
+		AdaptiveNetErrs: lp.Adaptive.Load.NetErrs,
+		FixedRPS:        lp.Fixed.Load.AchievedRPS,
+		FixedP99Us:      lp.Fixed.Load.P99.Micros(),
+		DroppedFrames:   lp.Adaptive.DroppedFrames,
+		ThroughputRatio: lp.ThroughputRatio,
+		MinRatio:        *minLossy,
+	}
+	lrep.Pass = lrep.ThroughputRatio >= *minLossy && lrep.AdaptiveNetErrs == 0
+	ldata, err := json.MarshalIndent(lrep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	ldata = append(ldata, '\n')
+	if err := os.WriteFile(*lossyOut, ldata, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("\nbenchguard: wrote %s\n%s", *lossyOut, ldata)
+
 	switch {
 	case !rep.TTLBounded:
 		fmt.Fprintln(os.Stderr, "benchguard FAIL: staleness probe exceeded the TTL bound")
@@ -115,6 +174,12 @@ func main() {
 		os.Exit(1)
 	case rep.HotKeyImprovement < *minImprove:
 		fmt.Fprintf(os.Stderr, "benchguard FAIL: hot-key improvement %.2fx below floor %.2fx\n", rep.HotKeyImprovement, *minImprove)
+		os.Exit(1)
+	case lrep.ThroughputRatio < *minLossy:
+		fmt.Fprintf(os.Stderr, "benchguard FAIL: lossy-link adaptive/fixed ratio %.2fx below floor %.2fx\n", lrep.ThroughputRatio, *minLossy)
+		os.Exit(1)
+	case lrep.AdaptiveNetErrs != 0:
+		fmt.Fprintf(os.Stderr, "benchguard FAIL: %d failed client callbacks under loss with adaptive RTO\n", lrep.AdaptiveNetErrs)
 		os.Exit(1)
 	}
 	fmt.Println("benchguard PASS")

@@ -1,0 +1,49 @@
+// Command ebbrt-lossy runs the loss-resilience experiment: the
+// replicated memcached cluster under the ETC workload with uniform
+// random frame loss injected at the switch, run twice per loss rate -
+// once with the self-tuning TCP data path (adaptive RTO, fast
+// retransmit, persist probes) and once with the fixed-RTO baseline -
+// and prints the throughput/latency comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ebbrt/internal/experiments"
+	"ebbrt/internal/sim"
+)
+
+func main() {
+	backends := flag.Int("backends", 4, "native backend count")
+	replicas := flag.Int("replicas", 2, "replication factor R")
+	cores := flag.Int("cores", 1, "cores per backend")
+	rate := flag.Float64("rate", 20000, "offered load (RPS) through the frontend client Ebb")
+	durMs := flag.Int("duration", 100, "measured window (ms)")
+	losses := flag.String("loss", "1,5,10", "comma-separated frame loss percentages to sweep")
+	seed := flag.Uint64("seed", 42, "workload / loss process seed")
+	flag.Parse()
+
+	var rates []float64
+	for _, s := range strings.Split(*losses, ",") {
+		p, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			fmt.Printf("bad -loss element %q: %v\n", s, err)
+			return
+		}
+		rates = append(rates, p/100)
+	}
+
+	res := experiments.Lossy(experiments.LossyOptions{
+		Backends:        *backends,
+		Replicas:        *replicas,
+		CoresPerBackend: *cores,
+		TargetRPS:       *rate,
+		Duration:        sim.Time(*durMs) * sim.Millisecond,
+		LossRates:       rates,
+		Seed:            *seed,
+	})
+	fmt.Print(experiments.FormatLossy(res))
+}

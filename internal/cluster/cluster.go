@@ -5,6 +5,7 @@ import (
 
 	"ebbrt/internal/apps/memcached"
 	"ebbrt/internal/hosted"
+	"ebbrt/internal/netstack"
 )
 
 // Backend is one native node running a memcached shard.
@@ -30,6 +31,11 @@ type Options struct {
 	// client created on this cluster (a client's own ClientOptions.HotKey
 	// takes precedence when enabled). See HotKeyOptions.
 	HotKey HotKeyOptions
+	// Net is the network stack configuration every node boots with
+	// (zero value: netstack.DefaultConfig()). The lossy-link experiment
+	// uses it to compare the adaptive-RTO transport against the
+	// fixed-RTO baseline on identical deployments.
+	Net netstack.Config
 }
 
 // Cluster is a sharded memcached deployment: the hosted frontend plus N
@@ -103,7 +109,7 @@ func NewCluster(backends int, opt Options) *Cluster {
 		panic(fmt.Sprintf("cluster: %d replicas exceed %d backends", opt.Replicas, backends))
 	}
 	cl := &Cluster{
-		Sys:      hosted.NewSystemCores(opt.FrontendCores),
+		Sys:      hosted.NewSystemOpts(hosted.SystemOptions{FrontendCores: opt.FrontendCores, Net: opt.Net}),
 		Ring:     NewRing(opt.VNodes),
 		Replicas: opt.Replicas,
 		HotKey:   opt.HotKey,

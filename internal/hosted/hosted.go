@@ -45,6 +45,7 @@ type System struct {
 	Nodes  []*Node
 	nextId core.Id
 
+	netCfg     netstack.Config
 	frontFSRep *fsFrontendRep // FileSystem Ebb's frontend store
 }
 
@@ -95,6 +96,17 @@ func (n *Node) Alive() bool {
 	return true
 }
 
+// SystemOptions configures a deployment's shared infrastructure.
+type SystemOptions struct {
+	// FrontendCores sizes the hosted node (default 2).
+	FrontendCores int
+	// Net is the network stack configuration every node (frontend and
+	// native) boots with. The zero value selects
+	// netstack.DefaultConfig(); experiments override it to ablate
+	// transport features (e.g. fixed- vs adaptive-RTO baselines).
+	Net netstack.Config
+}
+
 // NewSystem creates the frontend (hosted) node with the default two
 // cores.
 func NewSystem() *System { return NewSystemCores(2) }
@@ -103,12 +115,20 @@ func NewSystem() *System { return NewSystemCores(2) }
 // count, for deployments that drive heavy client load through the
 // frontend itself.
 func NewSystemCores(frontendCores int) *System {
-	if frontendCores <= 0 {
-		frontendCores = 2
+	return NewSystemOpts(SystemOptions{FrontendCores: frontendCores})
+}
+
+// NewSystemOpts creates the frontend (hosted) node under full options.
+func NewSystemOpts(opt SystemOptions) *System {
+	if opt.FrontendCores <= 0 {
+		opt.FrontendCores = 2
+	}
+	if opt.Net.MSS == 0 {
+		opt.Net = netstack.DefaultConfig()
 	}
 	k := sim.NewKernel()
-	s := &System{K: k, Switch: machine.NewSwitch(k), nextId: 1000}
-	s.addNode(true, frontendCores)
+	s := &System{K: k, Switch: machine.NewSwitch(k), nextId: 1000, netCfg: opt.Net}
+	s.addNode(true, opt.FrontendCores)
 	return s
 }
 
@@ -152,10 +172,10 @@ func (s *System) addNode(frontend bool, cores int) *Node {
 	if frontend {
 		// The hosted library lives in a GPOS process: same Ebb model,
 		// hash-table translation, syscall-priced networking.
-		node.Runtime = gpos.NewRuntime(m, mgrs, netstack.DefaultConfig(), gpos.LinuxConfig(), nic, node.IP(), mask)
+		node.Runtime = gpos.NewRuntime(m, mgrs, s.netCfg, gpos.LinuxConfig(), nic, node.IP(), mask)
 		node.Domain = core.NewDomain(cores, core.HostedTable)
 	} else {
-		st := netstack.NewStack(m, mgrs, netstack.DefaultConfig())
+		st := netstack.NewStack(m, mgrs, s.netCfg)
 		itf := st.AddInterface(nic, node.IP(), mask)
 		node.Runtime = appnet.NewNative(st, itf)
 		node.Domain = core.NewDomain(cores, core.NativeTable)

@@ -18,9 +18,27 @@ type Config struct {
 	AppDeliverCPU sim.Time
 	// ArpTimeout bounds an unanswered ARP resolution.
 	ArpTimeout sim.Time
-	// RTO is the TCP retransmission timeout (fixed; the simulated link
-	// does not reorder, so adaptive RTT estimation is not load-bearing).
+	// RTO is the initial TCP retransmission timeout, used until the
+	// connection has taken its first RTT sample (and for the connection's
+	// whole life when AdaptiveRTO is off).
 	RTO sim.Time
+	// AdaptiveRTO enables the RFC 6298 SRTT/RTTVAR estimator: each
+	// connection samples the RTT of non-retransmitted segments (Karn's
+	// rule) and derives its own timeout, clamped to [RTOMin, RTOMax].
+	AdaptiveRTO bool
+	// RTOMin / RTOMax clamp the per-connection timeout. The clamps also
+	// bound the exponential backoff ladder (RTOMax) so a stalled flow
+	// keeps probing instead of sleeping for minutes.
+	RTOMin, RTOMax sim.Time
+	// FastRetransmit enables recovery on three duplicate ACKs, so a
+	// single dropped segment in a window is repaired in about one RTT
+	// instead of waiting out a full RTO.
+	FastRetransmit bool
+	// MaxRetransmitTime bounds how long one segment is retried before
+	// the connection is torn down as dead. Time-based (rather than a
+	// retry count) so the adaptive path, whose RTO can be microseconds,
+	// keeps the same patience toward a rebooting peer as the fixed path.
+	MaxRetransmitTime sim.Time
 	// MSS is the TCP maximum segment size.
 	MSS int
 	// PollBatchThreshold is the number of frames observed in one receive
@@ -45,6 +63,11 @@ func DefaultConfig() Config {
 		AppDeliverCPU:      100 * sim.Nanosecond,
 		ArpTimeout:         100 * sim.Millisecond,
 		RTO:                200 * sim.Millisecond,
+		AdaptiveRTO:        true,
+		RTOMin:             1 * sim.Millisecond,
+		RTOMax:             5 * sim.Second,
+		FastRetransmit:     true,
+		MaxRetransmitTime:  100 * sim.Second,
 		MSS:                1460,
 		PollBatchThreshold: 8,
 		PollIdleRounds:     16,
@@ -65,6 +88,16 @@ type Stack struct {
 func NewStack(m *machine.Machine, mgrs []*event.Manager, cfg Config) *Stack {
 	if cfg.MSS == 0 {
 		cfg = DefaultConfig()
+	}
+	def := DefaultConfig()
+	if cfg.RTOMin == 0 {
+		cfg.RTOMin = def.RTOMin
+	}
+	if cfg.RTOMax == 0 {
+		cfg.RTOMax = def.RTOMax
+	}
+	if cfg.MaxRetransmitTime == 0 {
+		cfg.MaxRetransmitTime = def.MaxRetransmitTime
 	}
 	return &Stack{M: m, Mgrs: mgrs, Cfg: cfg}
 }

@@ -89,7 +89,24 @@ type tcpLayer struct {
 	nextPort  uint16
 	isn       uint32
 	ackQueue  []*TcpPcb // connections owing an ACK after the current drain batch
+	stats     TcpStats
 }
+
+// TcpStats aggregates loss-recovery counters across every connection the
+// interface has carried (live and closed) - the observability surface
+// the lossy-link experiment reads.
+type TcpStats struct {
+	// Retransmits counts every retransmitted segment (timeout and fast).
+	Retransmits uint64
+	// FastRetransmits counts segments recovered by triple-duplicate-ACK
+	// fast retransmit rather than a timeout.
+	FastRetransmits uint64
+	// PersistProbes counts zero-window probe segments.
+	PersistProbes uint64
+}
+
+// TcpStats reports the interface's aggregate TCP loss-recovery counters.
+func (itf *Interface) TcpStats() TcpStats { return itf.tcp.stats }
 
 func newTcpLayer() *tcpLayer {
 	return &tcpLayer{
@@ -100,12 +117,20 @@ func newTcpLayer() *tcpLayer {
 	}
 }
 
-// segment is an unacknowledged transmit segment retained for retransmission.
+// segment is one in-flight (sent, unacknowledged) transmit segment. The
+// tracker keeps the payload bytes, not the built frame: retransmissions
+// rebuild the header so they carry the connection's *current* ack and
+// window (a replayed frame would re-advertise receive state from when
+// the segment was first sent). sentAt and rexmit feed the RTT
+// estimator: only segments transmitted exactly once yield samples
+// (Karn's rule), taken from their last transmission time.
 type segment struct {
 	seq    uint32
 	flags  byte
-	frame  *iobuf.IOBuf // fully built TCP packet (ip+tcp headers + payload)
-	seqLen uint32       // sequence space consumed (payload + SYN/FIN)
+	data   []byte // payload copy (nil for bare SYN/FIN)
+	seqLen uint32 // sequence space consumed (payload + SYN/FIN)
+	sentAt sim.Time
+	rexmit bool
 }
 
 // TcpPcb is a TCP protocol control block. It is manipulated only on its
@@ -121,9 +146,28 @@ type TcpPcb struct {
 	// Send state.
 	sndUna, sndNxt uint32
 	sndWnd         uint32
-	retrans        []segment
+	inflight       []segment
 	rtoEvent       *sim.Event
 	rtoBackoff     int
+	rexmitSince    sim.Time // start of the current retransmission episode (0 = none)
+
+	// RTT estimation (RFC 6298). rto == 0 means no sample yet; the
+	// connection then times out on Cfg.RTO.
+	srtt, rttvar, rto sim.Time
+
+	// Fast-retransmit state: duplicate ACKs seen at sndUna, and whether
+	// the current loss window already triggered a fast retransmit (one
+	// per window; further recovery is the RTO's job).
+	dupAcks      int
+	fastRecovery bool
+
+	// Zero-window persist state: when the peer closes its window and
+	// nothing is in flight, the RTO cannot fire, so a lost window-update
+	// ACK would deadlock the sender forever. The persist timer probes
+	// with one already-acked byte to force a fresh ACK (and window) out
+	// of the peer.
+	persistEvent   *sim.Event
+	persistBackoff int
 
 	// Receive state.
 	rcvNxt uint32
@@ -135,7 +179,9 @@ type TcpPcb struct {
 	queuedAck bool
 
 	// Stats.
-	Retransmits uint64
+	Retransmits     uint64
+	FastRetransmits uint64
+	PersistProbes   uint64
 }
 
 type oooSegment struct {
@@ -258,7 +304,10 @@ func (p *TcpPcb) Send(c *event.Ctx, payload *iobuf.IOBuf) error {
 	return nil
 }
 
-// Close initiates an orderly shutdown (FIN).
+// Close initiates an orderly shutdown (FIN). Closing a connection whose
+// handshake has not completed aborts it instead: there is no data an
+// orderly FIN could protect, and leaving the PCB armed in the table
+// would leak it forever if the handshake never completes.
 func (p *TcpPcb) Close(c *event.Ctx) {
 	switch p.state {
 	case tcpEstablished:
@@ -267,6 +316,9 @@ func (p *TcpPcb) Close(c *event.Ctx) {
 	case tcpCloseWait:
 		p.state = tcpLastAck
 		p.sendSegment(c, tcpFIN|tcpACK, nil)
+	case tcpSynSent, tcpSynReceived:
+		p.sendRawSegment(c, p.sndNxt, p.rcvNxt, tcpRST|tcpACK, nil)
+		p.teardown(c, nil)
 	}
 }
 
@@ -277,7 +329,9 @@ func (p *TcpPcb) Abort(c *event.Ctx) {
 }
 
 // sendSegment builds and transmits one segment carrying data (may be nil),
-// consuming sequence space and arming retransmission.
+// consuming sequence space and arming retransmission. The in-flight
+// tracker keeps its own copy of the payload: the frame's bytes are
+// consumed by delivery, and the caller may reuse its buffer.
 func (p *TcpPcb) sendSegment(c *event.Ctx, flags byte, data []byte) {
 	seq := p.sndNxt
 	var seqLen uint32
@@ -290,7 +344,13 @@ func (p *TcpPcb) sendSegment(c *event.Ctx, flags byte, data []byte) {
 	frame := p.buildFrame(seq, p.rcvNxt, flags, data)
 	p.sndNxt += seqLen
 	if seqLen > 0 {
-		p.retrans = append(p.retrans, segment{seq: seq, flags: flags, frame: frame, seqLen: seqLen})
+		var keep []byte
+		if len(data) > 0 {
+			keep = append([]byte(nil), data...)
+		}
+		p.inflight = append(p.inflight, segment{
+			seq: seq, flags: flags, data: keep, seqLen: seqLen, sentAt: c.Now(),
+		})
 		p.armRTO()
 	}
 	p.transmitFrame(c, frame)
@@ -335,35 +395,107 @@ func (p *TcpPcb) transmitFrame(c *event.Ctx, frame *iobuf.IOBuf) {
 	_ = p.itf.EthArpSend(c, EtherTypeIPv4, p.key.rip, frame, p.flowHash)
 }
 
+// rtoInterval is the connection's current timeout: the adaptive
+// estimate when one exists (RFC 6298), else the configured initial RTO,
+// backed off exponentially and clamped to RTOMax.
+func (p *TcpPcb) rtoInterval() sim.Time {
+	cfg := &p.itf.St.Cfg
+	base := cfg.RTO
+	if cfg.AdaptiveRTO && p.rto > 0 {
+		base = p.rto
+	}
+	// Cap the shift so the ladder saturates at RTOMax instead of
+	// overflowing sim.Time.
+	shift := p.rtoBackoff
+	if shift > 30 {
+		shift = 30
+	}
+	d := base << shift
+	if d > cfg.RTOMax || d <= 0 {
+		d = cfg.RTOMax
+	}
+	return d
+}
+
+// sampleRTT folds one measurement into the SRTT/RTTVAR estimator
+// (RFC 6298 §2) and recomputes the clamped RTO.
+func (p *TcpPcb) sampleRTT(r sim.Time) {
+	if r <= 0 {
+		r = 1
+	}
+	if p.srtt == 0 {
+		p.srtt = r
+		p.rttvar = r / 2
+	} else {
+		diff := p.srtt - r
+		if diff < 0 {
+			diff = -diff
+		}
+		p.rttvar = (3*p.rttvar + diff) / 4
+		p.srtt = (7*p.srtt + r) / 8
+	}
+	cfg := &p.itf.St.Cfg
+	rto := p.srtt + 4*p.rttvar
+	if rto < cfg.RTOMin {
+		rto = cfg.RTOMin
+	}
+	if rto > cfg.RTOMax {
+		rto = cfg.RTOMax
+	}
+	p.rto = rto
+}
+
+// SRTT reports the smoothed RTT estimate (0 before the first sample).
+func (p *TcpPcb) SRTT() sim.Time { return p.srtt }
+
+// CurrentRTO reports the timeout the next retransmission timer will use
+// (before backoff).
+func (p *TcpPcb) CurrentRTO() sim.Time {
+	if p.itf.St.Cfg.AdaptiveRTO && p.rto > 0 {
+		return p.rto
+	}
+	return p.itf.St.Cfg.RTO
+}
+
 // armRTO starts the retransmission timer if not running.
 func (p *TcpPcb) armRTO() {
 	if p.rtoEvent != nil {
 		return
 	}
 	mgr := p.itf.St.Mgrs[p.core]
-	rto := p.itf.St.Cfg.RTO << p.rtoBackoff
-	p.rtoEvent = mgr.After(rto, func(c *event.Ctx) {
+	p.rtoEvent = mgr.After(p.rtoInterval(), func(c *event.Ctx) {
 		p.rtoEvent = nil
-		if len(p.retrans) == 0 {
+		if len(p.inflight) == 0 {
 			return
 		}
-		if p.rtoBackoff > 8 {
+		now := c.Now()
+		if p.rexmitSince == 0 {
+			p.rexmitSince = now
+		} else if now-p.rexmitSince > p.itf.St.Cfg.MaxRetransmitTime {
 			p.teardown(c, fmt.Errorf("netstack: too many retransmissions"))
 			return
 		}
 		p.rtoBackoff++
-		p.Retransmits++
 		// Retransmit the earliest unacked segment (go-back-one; the
 		// simulated links do not reorder).
-		seg := p.retrans[0]
-		p.transmitFrame(c, copyFrame(seg.frame))
+		p.retransmitSegment(c, &p.inflight[0])
 		p.armRTO()
 	})
 }
 
-// copyFrame duplicates a built frame so the retransmission keeps a pristine
-// copy (the in-flight one is consumed by delivery).
-func copyFrame(f *iobuf.IOBuf) *iobuf.IOBuf { return iobuf.FromBytes(f.CopyOut()) }
+// retransmitSegment rebuilds and resends one in-flight segment. The
+// header is rebuilt from current connection state, so the retransmission
+// advertises today's ack and window, not the values from when the
+// segment was first sent. Marking the segment excludes it from RTT
+// sampling (Karn's rule: an ACK for it could be for either transmission).
+func (p *TcpPcb) retransmitSegment(c *event.Ctx, seg *segment) {
+	seg.rexmit = true
+	seg.sentAt = c.Now()
+	p.Retransmits++
+	p.itf.tcp.stats.Retransmits++
+	p.transmitFrame(c, p.buildFrame(seg.seq, p.rcvNxt, seg.flags, seg.data))
+	p.needAck = false
+}
 
 func (p *TcpPcb) cancelRTO() {
 	if p.rtoEvent != nil {
@@ -372,8 +504,51 @@ func (p *TcpPcb) cancelRTO() {
 	}
 }
 
+// armPersist starts the zero-window probe timer if not running. Probes
+// back off exponentially from the current RTO up to RTOMax and repeat
+// until an ACK reopens the window (or the connection dies): without
+// them, a lost window-update ACK leaves both sides waiting forever.
+func (p *TcpPcb) armPersist() {
+	if p.persistEvent != nil {
+		return
+	}
+	cfg := &p.itf.St.Cfg
+	iv := p.CurrentRTO()
+	shift := p.persistBackoff
+	if shift > 30 {
+		shift = 30
+	}
+	if iv <<= shift; iv > cfg.RTOMax || iv <= 0 {
+		iv = cfg.RTOMax
+	}
+	mgr := p.itf.St.Mgrs[p.core]
+	p.persistEvent = mgr.After(iv, func(c *event.Ctx) {
+		p.persistEvent = nil
+		if p.state == tcpClosed || p.sndWnd != 0 {
+			return
+		}
+		p.persistBackoff++
+		p.PersistProbes++
+		p.itf.tcp.stats.PersistProbes++
+		// Probe with one already-acknowledged byte (seq sndNxt-1): the
+		// peer discards it as a duplicate and re-ACKs with its current
+		// window.
+		p.sendRawSegment(c, p.sndNxt-1, p.rcvNxt, tcpACK, []byte{0})
+		p.armPersist()
+	})
+}
+
+func (p *TcpPcb) cancelPersist() {
+	p.persistBackoff = 0
+	if p.persistEvent != nil {
+		p.persistEvent.Cancel()
+		p.persistEvent = nil
+	}
+}
+
 func (p *TcpPcb) teardown(c *event.Ctx, err error) {
 	p.cancelRTO()
+	p.cancelPersist()
 	wasClosed := p.state == tcpClosed
 	p.state = tcpClosed
 	p.itf.tcp.conns.Delete(p.key)
@@ -480,11 +655,12 @@ func (p *TcpPcb) input(c *event.Ctx, hdr TcpHeader, payload *iobuf.IOBuf) {
 		p.teardown(c, fmt.Errorf("netstack: connection reset by peer"))
 		return
 	}
+	plen := payload.ComputeChainDataLength()
 
 	switch p.state {
 	case tcpSynSent:
 		if hdr.Flags&(tcpSYN|tcpACK) == tcpSYN|tcpACK && hdr.Ack == p.sndNxt {
-			p.processAck(c, hdr)
+			p.processAck(c, hdr, plen)
 			p.rcvNxt = hdr.Seq + 1
 			p.state = tcpEstablished
 			p.needAck = true
@@ -496,7 +672,7 @@ func (p *TcpPcb) input(c *event.Ctx, hdr TcpHeader, payload *iobuf.IOBuf) {
 		return
 	case tcpSynReceived:
 		if hdr.Flags&tcpACK != 0 && seqLT(p.sndUna, hdr.Ack) {
-			p.processAck(c, hdr)
+			p.processAck(c, hdr, plen)
 			p.state = tcpEstablished
 			if p.h.OnConnected != nil {
 				p.h.OnConnected(c, p)
@@ -508,7 +684,7 @@ func (p *TcpPcb) input(c *event.Ctx, hdr TcpHeader, payload *iobuf.IOBuf) {
 	}
 
 	if hdr.Flags&tcpACK != 0 {
-		p.processAck(c, hdr)
+		p.processAck(c, hdr, plen)
 	}
 	if p.state == tcpClosed {
 		return
@@ -517,19 +693,30 @@ func (p *TcpPcb) input(c *event.Ctx, hdr TcpHeader, payload *iobuf.IOBuf) {
 }
 
 // processAck advances the send window and releases retransmission state.
-func (p *TcpPcb) processAck(c *event.Ctx, hdr TcpHeader) {
+// plen is the byte count of data carried alongside the ACK, used to tell
+// a pure duplicate ACK (a loss signal) from a data segment that happens
+// to repeat the ack field.
+func (p *TcpPcb) processAck(c *event.Ctx, hdr TcpHeader, plen int) {
 	ack := hdr.Ack
 	wasZero := p.SendWindowRemaining() == 0
+	oldWnd := p.sndWnd
 	p.sndWnd = uint32(hdr.Window)
 	if seqLT(p.sndUna, ack) && seqLEQ(ack, p.sndNxt) {
 		p.sndUna = ack
 		p.rtoBackoff = 0
+		p.rexmitSince = 0
+		p.dupAcks = 0
+		p.fastRecovery = false
 		// Drop fully acknowledged segments, counting the *data* bytes they
 		// carried (SYN and FIN consume sequence space but are not data, so
 		// the application's OnAcked never fires for handshake traffic).
+		// The freshest never-retransmitted segment among them yields an
+		// RTT sample (Karn's rule excludes retransmitted ones, whose ACK
+		// is ambiguous between transmissions).
 		dataAcked := 0
-		keep := p.retrans[:0]
-		for _, seg := range p.retrans {
+		var sampleFrom sim.Time = -1
+		keep := p.inflight[:0]
+		for _, seg := range p.inflight {
 			if seqLT(ack, seg.seq+seg.seqLen) {
 				keep = append(keep, seg)
 				continue
@@ -542,10 +729,16 @@ func (p *TcpPcb) processAck(c *event.Ctx, hdr TcpHeader) {
 				n--
 			}
 			dataAcked += n
+			if !seg.rexmit && seg.sentAt > sampleFrom {
+				sampleFrom = seg.sentAt
+			}
 		}
-		p.retrans = keep
+		p.inflight = keep
+		if sampleFrom >= 0 {
+			p.sampleRTT(c.Now() - sampleFrom)
+		}
 		p.cancelRTO()
-		if len(p.retrans) > 0 {
+		if len(p.inflight) > 0 {
 			p.armRTO()
 		}
 		// State transitions driven by our FIN being acknowledged. The FIN
@@ -570,6 +763,31 @@ func (p *TcpPcb) processAck(c *event.Ctx, hdr TcpHeader) {
 		if dataAcked > 0 && p.h.OnAcked != nil {
 			p.h.OnAcked(c, p, dataAcked)
 		}
+	} else if ack == p.sndUna && len(p.inflight) > 0 && plen == 0 &&
+		hdr.Flags&(tcpSYN|tcpFIN) == 0 && uint32(hdr.Window) == oldWnd {
+		// Duplicate ACK: the receiver got something above a hole. Three
+		// in a row mean the segment at sndUna is almost certainly lost -
+		// resend it now rather than waiting out the RTO (one fast
+		// retransmit per loss window; if that doesn't advance sndUna the
+		// timer takes over with backoff).
+		p.dupAcks++
+		if p.itf.St.Cfg.FastRetransmit && p.dupAcks >= 3 && !p.fastRecovery {
+			p.fastRecovery = true
+			p.FastRetransmits++
+			p.itf.tcp.stats.FastRetransmits++
+			p.retransmitSegment(c, &p.inflight[0])
+			p.cancelRTO()
+			p.armRTO()
+		}
+	}
+	// Zero-window persist: with nothing in flight the RTO cannot fire,
+	// so only a probe can discover the reopened window if the peer's
+	// window-update ACK is lost.
+	if p.sndWnd == 0 && len(p.inflight) == 0 &&
+		(p.state == tcpEstablished || p.state == tcpCloseWait) {
+		p.armPersist()
+	} else if p.sndWnd > 0 {
+		p.cancelPersist()
 	}
 	if wasZero && p.SendWindowRemaining() > 0 && p.h.OnWindowOpen != nil {
 		p.h.OnWindowOpen(c, p)
@@ -610,14 +828,44 @@ func (p *TcpPcb) processData(c *event.Ctx, hdr TcpHeader, payload *iobuf.IOBuf) 
 		return
 	}
 	p.deliver(c, payload, fin, seqLen-(seq-hdr.Seq))
-	// Drain any contiguous out-of-order segments.
+	p.drainReassembly(c)
+}
+
+// drainReassembly delivers every stashed out-of-order segment the
+// receive stream has reached. A large in-order delivery can land at or
+// beyond stashed segments that started elsewhere, so matching only the
+// exact rcvNxt key would strand them in the map forever (a leak) - and
+// a segment the stream has partially overtaken still carries new bytes,
+// so it is trimmed and delivered rather than dropped.
+func (p *TcpPcb) drainReassembly(c *event.Ctx) {
 	for {
-		next, ok := p.ooo[p.rcvNxt]
-		if !ok {
-			break
+		delivered := false
+		for seq, next := range p.ooo {
+			if !seqLEQ(seq, p.rcvNxt) {
+				continue // still a hole in front of this segment
+			}
+			delete(p.ooo, seq)
+			overlap := p.rcvNxt - seq
+			if overlap >= next.seqLen {
+				continue // fully covered by what was already delivered
+			}
+			if overlap > 0 {
+				dataLen := int(next.seqLen)
+				if next.fin {
+					dataLen--
+				}
+				adv := int(overlap)
+				if adv > dataLen {
+					adv = dataLen
+				}
+				chainAdvance(next.payload, adv)
+			}
+			p.deliver(c, next.payload, next.fin, next.seqLen-overlap)
+			delivered = true
 		}
-		delete(p.ooo, p.rcvNxt)
-		p.deliver(c, next.payload, next.fin, next.seqLen)
+		if !delivered {
+			return // only stale entries were purged; rcvNxt is final
+		}
 	}
 }
 
