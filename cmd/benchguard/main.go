@@ -1,11 +1,12 @@
 // Command benchguard is the CI benchmark regression gate: it runs the
-// cluster-scaling, hot-key, and lossy-link experiments at smoke scale,
-// writes the measured numbers to JSON artifacts, and exits non-zero if
-// any headline number regresses below its committed floor. The floors
-// are deliberately below the measured values (4x scaling measured vs
-// 3.0 floor; ~1.7x hot-key improvement measured vs 1.3 floor; ~6x
-// adaptive-RTO advantage at 5% loss measured vs 1.5 floor) so the gate
-// trips on real regressions, not noise.
+// cluster-scaling, hot-key, replicated hot-key (R=3), and lossy-link
+// experiments at smoke scale, writes the measured numbers to JSON
+// artifacts, and exits non-zero if any headline number regresses below
+// its committed floor. The floors are deliberately below the measured
+// values (4x scaling measured vs 3.0 floor; ~1.7x hot-key improvement
+// measured vs 1.3 floor; ~1.9x replicated hot-key improvement measured
+// vs 1.5 floor; ~6x adaptive-RTO advantage at 5% loss measured vs 1.5
+// floor) so the gate trips on real regressions, not noise.
 package main
 
 import (
@@ -45,6 +46,37 @@ type report struct {
 	Pass           bool    `json:"pass"`
 }
 
+// r3Report is the BENCH_hotkey_r3.json schema: the replica-coherent
+// hot-key cache plus salted write spreading at R=3, versus the
+// cache-off, spread-off baseline on the same cluster shape, under a
+// rogue uncached writer.
+type r3Report struct {
+	Backends int `json:"backends"`
+	Replicas int `json:"replicas"`
+	// BaselineRPS / FixedRPS are the two runs' achieved throughput;
+	// Improvement (fixed/baseline) is the number the gate guards.
+	BaselineRPS float64 `json:"baseline_rps"`
+	FixedRPS    float64 `json:"fixed_rps"`
+	Improvement float64 `json:"improvement"`
+	HitRate     float64 `json:"cache_hit_rate"`
+	// Write spreading engagement: the gate also requires salted writes,
+	// so a silently disabled spread path cannot pass.
+	PromotedKeys int    `json:"spread_promoted_keys"`
+	SaltedWrites uint64 `json:"salted_writes"`
+	SaltedReads  uint64 `json:"salted_targeted_reads"`
+	SaltedFanIns uint64 `json:"salted_fanin_fallbacks"`
+	// Hottest backend's share of served requests before and after.
+	BaselineMaxShare float64 `json:"baseline_hottest_node_share"`
+	FixedMaxShare    float64 `json:"fixed_hottest_node_share"`
+	// Staleness probe under the rogue writer, peeking every live owner
+	// of every shard: the TTL is the hard bound.
+	MaxStaleAgeMs  float64 `json:"max_stale_age_ms"`
+	TTLMs          float64 `json:"ttl_ms"`
+	TTLBounded     bool    `json:"ttl_bounded"`
+	MinImprovement float64 `json:"floor_improvement"`
+	Pass           bool    `json:"pass"`
+}
+
 // lossyReport is the BENCH_lossy.json schema: the self-tuning TCP data
 // path versus the fixed-RTO baseline under frame loss at the switch.
 type lossyReport struct {
@@ -66,9 +98,11 @@ type lossyReport struct {
 
 func main() {
 	out := flag.String("out", "BENCH_hotkey.json", "report artifact path")
+	r3Out := flag.String("r3-out", "BENCH_hotkey_r3.json", "replicated hot-key report artifact path")
 	lossyOut := flag.String("lossy-out", "BENCH_lossy.json", "lossy-link report artifact path")
 	minScaling := flag.Float64("min-scaling", 3.0, "floor for 4-backend scaling speedup")
 	minImprove := flag.Float64("min-improvement", 1.3, "floor for the hot-key skewed-tail improvement")
+	minR3 := flag.Float64("min-r3-improvement", 1.5, "floor for the replicated (R=3) hot-key improvement")
 	minLossy := flag.Float64("min-lossy-ratio", 1.5, "floor for the adaptive/fixed throughput ratio at 5% loss")
 	lossRate := flag.Float64("loss-rate", 0.05, "frame loss probability for the lossy gate")
 	rate := flag.Float64("rate", 280000, "hot-key experiment offered RPS per backend")
@@ -129,6 +163,48 @@ func main() {
 	}
 	fmt.Printf("\nbenchguard: wrote %s\n%s", *out, data)
 
+	fmt.Printf("\nbenchguard: replicated hot-key smoke (%d backends, R=3, %.0f RPS/backend)\n", *backends, *rate)
+	r3 := experiments.ReplicatedHotKey(experiments.ReplicatedHotKeyOptions{
+		Backends:      *backends,
+		PerBackendRPS: *rate,
+		Duration:      dur,
+		KeySpace:      *keys,
+		// PromoteMin 4 as above: smoke windows are short, so cache
+		// promotion must not eat most of the run.
+		Cache: cluster.HotKeyOptions{PromoteMin: 4},
+	})
+	fmt.Print(experiments.FormatReplicatedHotKey(r3))
+	r3rep := r3Report{
+		Backends:         r3.Opt.Backends,
+		Replicas:         r3.Opt.Replicas,
+		BaselineRPS:      r3.Off.AchievedRPS,
+		FixedRPS:         r3.On.AchievedRPS,
+		Improvement:      r3.Improvement,
+		HitRate:          r3.Cache.HitRate(),
+		PromotedKeys:     r3.HotWrite.Promoted,
+		SaltedWrites:     r3.HotWrite.SaltedWrites,
+		SaltedReads:      r3.HotWrite.SaltedReads,
+		SaltedFanIns:     r3.HotWrite.SaltedFanIns,
+		BaselineMaxShare: r3.OffMaxShare,
+		FixedMaxShare:    r3.OnMaxShare,
+		MaxStaleAgeMs:    float64(r3.Cache.MaxStaleAge) / 1e6,
+		TTLMs:            float64(r3.TTL) / 1e6,
+		TTLBounded:       r3.TTLBounded,
+		MinImprovement:   *minR3,
+	}
+	r3rep.Pass = r3rep.Improvement >= *minR3 && r3rep.TTLBounded && r3rep.SaltedWrites > 0
+	r3data, err := json.MarshalIndent(r3rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	r3data = append(r3data, '\n')
+	if err := os.WriteFile(*r3Out, r3data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("\nbenchguard: wrote %s\n%s", *r3Out, r3data)
+
 	fmt.Printf("\nbenchguard: lossy-link smoke (%.0f%% frame loss, adaptive vs fixed RTO)\n", 100**lossRate)
 	lr := experiments.Lossy(experiments.LossyOptions{
 		Backends:  2,
@@ -174,6 +250,15 @@ func main() {
 		os.Exit(1)
 	case rep.HotKeyImprovement < *minImprove:
 		fmt.Fprintf(os.Stderr, "benchguard FAIL: hot-key improvement %.2fx below floor %.2fx\n", rep.HotKeyImprovement, *minImprove)
+		os.Exit(1)
+	case !r3rep.TTLBounded:
+		fmt.Fprintln(os.Stderr, "benchguard FAIL: R=3 staleness probe exceeded the TTL bound")
+		os.Exit(1)
+	case r3rep.SaltedWrites == 0:
+		fmt.Fprintln(os.Stderr, "benchguard FAIL: R=3 run engaged no write spreading")
+		os.Exit(1)
+	case r3rep.Improvement < *minR3:
+		fmt.Fprintf(os.Stderr, "benchguard FAIL: replicated hot-key improvement %.2fx below floor %.2fx\n", r3rep.Improvement, *minR3)
 		os.Exit(1)
 	case lrep.ThroughputRatio < *minLossy:
 		fmt.Fprintf(os.Stderr, "benchguard FAIL: lossy-link adaptive/fixed ratio %.2fx below floor %.2fx\n", lrep.ThroughputRatio, *minLossy)

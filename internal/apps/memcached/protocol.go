@@ -107,12 +107,23 @@ func BuildGet(key []byte, opaque uint32) []byte {
 
 // BuildSet encodes a SET request with flags and zero expiry.
 func BuildSet(key, value []byte, flags uint32, opaque uint32) []byte {
+	return BuildSetStamped(key, value, flags, opaque, 0)
+}
+
+// BuildSetStamped encodes a SET carrying a version stamp in the request
+// header's CAS field. A nonzero stamp selects the replica-stamped store
+// rule (docs/PROTOCOL.md "Version stamps"): the server stores the entry
+// with exactly this CAS - never re-minting from its local counter - and
+// applies it only if the stamp is newer than the entry it would replace,
+// so replicas of one key converge on the same {value, stamp} no matter
+// the delivery order. stamp 0 is a plain SET (server-minted CAS).
+func BuildSetStamped(key, value []byte, flags uint32, opaque uint32, stamp uint64) []byte {
 	body := 8 + len(key) + len(value)
 	b := make([]byte, HeaderLen+body)
 	WriteHeader(b, Header{
 		Magic: MagicRequest, Opcode: OpSet,
 		KeyLen: uint16(len(key)), ExtrasLen: 8,
-		BodyLen: uint32(body), Opaque: opaque,
+		BodyLen: uint32(body), Opaque: opaque, CAS: stamp,
 	})
 	binary.BigEndian.PutUint32(b[HeaderLen:], flags)
 	binary.BigEndian.PutUint32(b[HeaderLen+4:], 0)
@@ -126,6 +137,15 @@ func BuildSet(key, value []byte, flags uint32, opaque uint32) []byte {
 // stream pipelines AddQ and fences with a single Noop rather than
 // reading one response per key.
 func BuildAdd(key, value []byte, flags uint32, opaque uint32, quiet bool) []byte {
+	return BuildAddStamped(key, value, flags, opaque, quiet, 0)
+}
+
+// BuildAddStamped is BuildAdd carrying a version stamp in the request
+// header's CAS field: the stored entry keeps exactly this CAS instead of
+// a freshly minted server-local one. The migration stream uses it so a
+// transferred entry arrives at its new owner with the stamp the
+// surviving replicas hold - re-minting would silently diverge them.
+func BuildAddStamped(key, value []byte, flags uint32, opaque uint32, quiet bool, stamp uint64) []byte {
 	body := 8 + len(key) + len(value)
 	b := make([]byte, HeaderLen+body)
 	op := byte(OpAdd)
@@ -135,7 +155,7 @@ func BuildAdd(key, value []byte, flags uint32, opaque uint32, quiet bool) []byte
 	WriteHeader(b, Header{
 		Magic: MagicRequest, Opcode: op,
 		KeyLen: uint16(len(key)), ExtrasLen: 8,
-		BodyLen: uint32(body), Opaque: opaque,
+		BodyLen: uint32(body), Opaque: opaque, CAS: stamp,
 	})
 	binary.BigEndian.PutUint32(b[HeaderLen:], flags)
 	binary.BigEndian.PutUint32(b[HeaderLen+4:], 0)

@@ -182,6 +182,25 @@ func (s *Server) handle(c *event.Ctx, hdr Header, body []byte, resp []byte) []by
 			flags = binary.BigEndian.Uint32(body)
 		}
 		value := append([]byte(nil), body[keyStart+int(hdr.KeyLen):]...)
+		if hdr.CAS != 0 {
+			// Replica-stamped store: the coordinator (the cluster client)
+			// assigned this write's version stamp once, and every replica
+			// stores that exact stamp - never a locally minted one, which
+			// is what made R>1 stamps incomparable. Apply last-writer-wins
+			// by stamp so replicas converge on the same {value, stamp}
+			// regardless of delivery order; echo the winning stamp so the
+			// coordinator can detect that its write was superseded.
+			win := hdr.CAS
+			if cur, ok := s.Store.Get(key); ok && cur.CAS >= hdr.CAS {
+				win = cur.CAS
+			} else {
+				s.Store.Set(key, &Entry{Value: value, Flags: flags, CAS: hdr.CAS})
+			}
+			if hdr.Opcode == OpSetQ {
+				return resp
+			}
+			return appendResponseCAS(resp, hdr, StatusOK, nil, nil, win)
+		}
 		cas := s.nextCAS()
 		s.Store.Set(key, &Entry{Value: value, Flags: flags, CAS: cas})
 		if hdr.Opcode == OpSetQ {
@@ -197,7 +216,12 @@ func (s *Server) handle(c *event.Ctx, hdr Header, body []byte, resp []byte) []by
 			flags = binary.BigEndian.Uint32(body)
 		}
 		value := append([]byte(nil), body[keyStart+int(hdr.KeyLen):]...)
-		cas := s.nextCAS()
+		// A stamped ADD (migration stream, nonzero request CAS) preserves
+		// the sender's version stamp; a plain ADD mints a local one.
+		cas := hdr.CAS
+		if cas == 0 {
+			cas = s.nextCAS()
+		}
 		if !s.Store.Add(key, &Entry{Value: value, Flags: flags, CAS: cas}) {
 			// Losing the race to an existing entry is an error response
 			// even for the quiet opcode, as in stock memcached; quiet

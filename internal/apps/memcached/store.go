@@ -11,11 +11,15 @@ import (
 type Entry struct {
 	Value []byte
 	Flags uint32
-	// CAS is the node-local compare-and-swap token stamped by the server
-	// on every store (Server.nextCAS), reported by the text protocol's
-	// `gets` and the binary GET response header. As in stock memcached it
-	// is per-node state: a migrated entry is re-stamped by the receiving
-	// server.
+	// CAS is the entry's version token, reported by the text protocol's
+	// `gets` and the binary GET response header. Plain stores mint it
+	// from the server-local counter (Server.nextCAS), as stock memcached
+	// does. Stores carrying a nonzero request CAS instead keep that
+	// exact value - the cluster's replica-wide version stamps, assigned
+	// once per write by the coordinating client so every replica of a
+	// key (including read-repaired and migrated copies) holds the same
+	// stamp. Coordinator stamps live above any server-minted value, so
+	// the two spaces never conflict on a mixed-history entry.
 	CAS uint64
 }
 

@@ -142,9 +142,23 @@ func NewClientWithOptions(cl *Cluster, node *hosted.Node, opt ClientOptions) *Cl
 					if !ok || rep.hot == nil {
 						return
 					}
-					n := rep.hot.cache.flushWhere(func(h uint64) bool {
-						for _, r := range ranges {
-							if r.Contains(h) {
+					n := rep.hot.cache.flushWhere(func(e *cacheEntry) bool {
+						covered := func(h uint64) bool {
+							for _, r := range ranges {
+								if r.Contains(h) {
+									return true
+								}
+							}
+							return false
+						}
+						if covered(e.hash) {
+							return true
+						}
+						// A write-spread key's salted shards hash elsewhere
+						// than the entry itself; a moved shard also makes
+						// the cached copy unsafe across the cutover.
+						for s := 1; s < cli.cl.saltsOf([]byte(e.key)); s++ {
+							if covered(ringHash(saltedKey([]byte(e.key), s))) {
 								return true
 							}
 						}
@@ -192,10 +206,10 @@ func (cli *Client) Get(c *event.Ctx, key []byte, cb Callback) {
 	rep := cli.rep(c)
 	if hk := rep.hot; hk != nil {
 		h := ringHash(key)
-		if cli.handoffCovers(h) {
+		if cli.handoffCoversKey(key) {
 			hk.stats.HandoffBypass++
 			hk.cache.invalidate(key)
-			cli.getFrom(c, key, cli.cl.ReadSet(key), 0, nil, cb)
+			cli.fetch(c, key, cb)
 			return
 		}
 		if e, ok := hk.cache.get(key, c.Now()); ok {
@@ -218,7 +232,7 @@ func (cli *Client) Get(c *event.Ctx, key []byte, cb Callback) {
 			gen := cli.tombGen
 			inner := cb
 			cb = func(c *event.Ctx, r Response) {
-				if r.OK() && !cli.handoffCovers(h) && cli.tombGen == gen {
+				if r.OK() && !cli.handoffCoversKey(keyCopy) && cli.tombGen == gen {
 					hk.cache.put(string(keyCopy), h, append([]byte(nil), r.Value...), r.Flags, r.CAS, c.Now())
 				}
 				if inner != nil {
@@ -227,27 +241,135 @@ func (cli *Client) Get(c *event.Ctx, key []byte, cb Callback) {
 			}
 		}
 	}
-	cli.getFrom(c, key, cli.cl.ReadSet(key), 0, nil, cb)
+	cli.fetch(c, key, cb)
 }
 
-// handoffCovers reports whether key hash h sits in a still-pending
-// moved range of an open migration window.
-func (cli *Client) handoffCovers(h uint64) bool {
+// fetch reads key through the data path: a plain replica-failover read
+// for an unsalted key. A write-spread key reads the shard that took the
+// latest acknowledged write - one shard, not all of them - and verifies
+// the served copy's stamp against the acked stamp (replica-wide stamps
+// make that comparison exact). Only when verification fails - the shard
+// lost its quorum majority, a delete reset the record, or nothing has
+// acked since promotion - does the read fall back to the full fan-in.
+// Without the targeted fast path every read of a promoted key would
+// cost K network reads, and the hottest keys carry most of the skewed
+// traffic: the fan-in amplification would cost more than the spreading
+// saves.
+func (cli *Client) fetch(c *event.Ctx, key []byte, cb Callback) {
+	salts := cli.cl.saltsOf(key)
+	if salts <= 1 {
+		cli.getFrom(c, key, cli.cl.ReadSet(key), 0, nil, cb)
+		return
+	}
+	cli.cl.hotWrite.SaltedReads++
+	if salt, stamp, ok := cli.cl.saltTarget(key); ok {
+		sk := saltedKey(key, salt)
+		cli.getFrom(c, sk, cli.cl.ReadSet(sk), 0, nil, func(c *event.Ctx, r Response) {
+			if r.OK() && r.CAS >= stamp {
+				if cb != nil {
+					cb(c, r)
+				}
+				return
+			}
+			cli.fanIn(c, key, salts, cb)
+		})
+		return
+	}
+	cli.fanIn(c, key, salts, cb)
+}
+
+// fanIn reads every salted shard of a spread key and folds to the
+// newest stamp - the slow path behind fetch's targeted read.
+func (cli *Client) fanIn(c *event.Ctx, key []byte, salts int, cb Callback) {
+	cli.cl.hotWrite.SaltedFanIns++
+	fold := &saltFold{left: salts, cb: cb}
+	for s := 0; s < salts; s++ {
+		sk := saltedKey(key, s)
+		cli.getFrom(c, sk, cli.cl.ReadSet(sk), 0, nil, fold.add)
+	}
+}
+
+// saltFold aggregates one fan-in read: writes round-robin the salts, so
+// the salts hold successively older versions and the newest stamp wins
+// (replica-wide stamps make that comparison exact). Misses on some
+// salts are normal - fewer writes than salts since promotion - and a
+// network error surfaces only when no salt could be served at all.
+type saltFold struct {
+	left      int
+	best      Response
+	sawOK     bool
+	sawNetErr bool
+	cb        Callback
+}
+
+func (f *saltFold) add(c *event.Ctx, r Response) {
+	if r.OK() && (!f.sawOK || r.CAS > f.best.CAS) {
+		f.best = r
+		f.sawOK = true
+	}
+	if r.NetworkError() {
+		f.sawNetErr = true
+	}
+	f.left--
+	if f.left > 0 || f.cb == nil {
+		return
+	}
+	switch {
+	case f.sawOK:
+		f.cb(c, f.best)
+	case f.sawNetErr:
+		f.cb(c, Response{Status: StatusNetworkError})
+	default:
+		f.cb(c, Response{Status: memcached.StatusKeyNotFound})
+	}
+}
+
+// handoffCoversKey reports whether any of key's storage locations - the
+// key itself, plus its salted shards when write-spread - sits in a
+// still-pending moved range of an open migration window.
+func (cli *Client) handoffCoversKey(key []byte) bool {
 	ho := cli.cl.handoff
-	return ho != nil && ho.covers(h)
+	if ho == nil {
+		return false
+	}
+	if ho.covers(ringHash(key)) {
+		return true
+	}
+	for s := 1; s < cli.cl.saltsOf(key); s++ {
+		if ho.covers(ringHash(saltedKey(key, s))) {
+			return true
+		}
+	}
+	return false
 }
 
-// probeStaleness compares a served cache hit against the owning shard's
-// store directly - simulation-level introspection (like
-// Cluster.LiveHolders), recording how stale served values actually get
-// so experiments can verify the TTL bound. With R > 1 a fill served by
-// a non-primary replica carries that replica's CAS, so the probe
-// overcounts there; the experiments run it at R=1 where CAS stamps are
-// unambiguous.
+// probeStaleness compares a served cache hit against the owner stores
+// directly - simulation-level introspection (like Cluster.LiveHolders),
+// recording how stale served values actually get so experiments can
+// verify the TTL bound. It peeks every live replica of every salted
+// shard: stamps are replica-wide, so the newest stamp any live owner
+// holds is the latest durable version, and a served hit is stale
+// exactly when that stamp is newer than the cached one (or the key was
+// deleted everywhere).
 func (cli *Client) probeStaleness(c *event.Ctx, hk *hotKeyRep, key []byte, e *cacheEntry) {
-	b := cli.cl.Backends[cli.cl.Ring.Lookup(key)]
-	cur, ok := b.Srv.Store.Get(string(key))
-	if ok && cur.CAS == e.cas {
+	var newest uint64
+	found := false
+	for s := 0; s < cli.cl.saltsOf(key); s++ {
+		sk := saltedKey(key, s)
+		for _, bi := range cli.cl.ReplicaSet(sk) {
+			b := cli.cl.Backends[bi]
+			if !cli.cl.Live(bi) || !b.Node.Alive() {
+				continue
+			}
+			if cur, ok := b.Srv.Store.Get(string(sk)); ok {
+				found = true
+				if cur.CAS > newest {
+					newest = cur.CAS
+				}
+			}
+		}
+	}
+	if found && newest <= e.cas {
 		return
 	}
 	hk.stats.StaleServes++
@@ -272,19 +394,19 @@ func (cli *Client) maybeRevalidate(c *event.Ctx, hk *hotKeyRep, key []byte) {
 	hk.sinceReval = 0
 	hk.stats.Revalidations++
 	keyCopy := append([]byte(nil), key...)
-	h := ringHash(keyCopy)
-	cli.getFrom(c, keyCopy, cli.cl.ReadSet(keyCopy), 0, nil, func(c *event.Ctx, r Response) {
+	cli.fetch(c, keyCopy, func(c *event.Ctx, r Response) {
 		cur, ok := hk.cache.m[string(keyCopy)]
 		if !ok {
 			return // evicted or invalidated while the check was in flight
 		}
 		switch {
 		case r.OK() && r.CAS > cur.cas:
-			// CAS stamps are monotonic, so only a strictly newer response
-			// may replace the entry - a reordered older read (overtaken by
-			// a write-path re-stamp) must not roll it back or reset its
-			// TTL clock onto stale data.
-			if cli.handoffCovers(h) {
+			// Stamps are monotonic (and, being replica-wide, comparable no
+			// matter which replica answered), so only a strictly newer
+			// response may replace the entry - a reordered older read
+			// (overtaken by a write-path re-stamp) must not roll it back
+			// or reset its TTL clock onto stale data.
+			if cli.handoffCoversKey(keyCopy) {
 				hk.cache.remove(cur)
 				return
 			}
@@ -361,7 +483,7 @@ func (cli *Client) invalidateHot(c *event.Ctx, key []byte, tombstone bool) {
 func (cli *Client) restampHot(c *event.Ctx, key, value []byte, flags uint32, cas uint64, gen uint64) {
 	h := ringHash(key)
 	cli.forEachHotRep(c, key, func(c *event.Ctx, hk *hotKeyRep, kb []byte) {
-		if cli.tombGen != gen || cli.handoffCovers(h) {
+		if cli.tombGen != gen || cli.handoffCoversKey(kb) {
 			return
 		}
 		if hk.sketch.estimate(h) < hk.opt.PromoteMin {
@@ -422,12 +544,17 @@ func (cli *Client) getFrom(c *event.Ctx, key []byte, reps []int, i int, missed [
 // readRepair re-sets the value onto replicas that reported a miss while
 // a successor held the key (a restored backend catching up, or a
 // replica that lost a racing write). Fire-and-forget: repair is an
-// optimization, not a durability mechanism.
+// optimization, not a durability mechanism. The repair carries the
+// serving replica's version stamp: the repaired copy must hold the SAME
+// stamp as the survivors - a re-minted one would diverge the replica
+// set and silently break the hot-key cache's cross-replica CAS
+// comparisons - and the stamped store rule makes the repair a no-op on
+// a replica that already holds something newer.
 func (cli *Client) readRepair(c *event.Ctx, key []byte, missed []int, r Response) {
 	value := append([]byte(nil), r.Value...)
 	for _, backend := range missed {
 		cli.rep(c).submit(c, backend, func(opaque uint32) []byte {
-			return memcached.BuildSet(key, value, r.Flags, opaque)
+			return memcached.BuildSetStamped(key, value, r.Flags, opaque, r.CAS)
 		}, nil)
 	}
 }
@@ -441,31 +568,57 @@ func (cli *Client) readRepair(c *event.Ctx, key []byte, missed []int, r Response
 // is counted over the new owners, so an acked write is guaranteed to
 // survive the range's cutover.
 func (cli *Client) Set(c *event.Ctx, key, value []byte, flags uint32, cb Callback) {
-	cli.cl.noteSet(key)
-	if cli.opt.HotKey.Enable {
-		// Coherence, write path: drop every core's cached copy now (a
-		// read racing the write must not see the old value from this
-		// client), then re-stamp on the quorum ack - the server echoes
-		// the entry's new CAS, so the written value re-enters the cache
-		// already carrying its owner stamp. Pure invalidation would
-		// instead evict the hottest keys ~10 times per second of Zipf
-		// write traffic per core, capping the hit rate the cache exists
-		// to provide.
-		cli.invalidateHot(c, key, false)
-		gen := cli.tombGen
+	// The write's version stamp is assigned HERE, once, by the
+	// coordinator: every replica stores and echoes this exact stamp, so
+	// any replica's answer to a later read carries a comparable version.
+	// For a write-spread hot key the cluster also round-robins the salt,
+	// spreading successive writes across distinct owner sets.
+	stamp := cli.cl.nextStamp()
+	skey, salt, spread := cli.cl.writeSaltFor(key)
+	cli.cl.noteSet(skey)
+	if spread {
+		// On the quorum ack, record which salt now holds the newest acked
+		// version (folded monotonically by stamp at the cluster): reads of
+		// this key target that one shard instead of fanning in across all
+		// of them.
 		inner := cb
-		valCopy := append([]byte(nil), value...)
 		cb = func(c *event.Ctx, r Response) {
 			if r.OK() {
-				cli.restampHot(c, key, valCopy, flags, r.CAS, gen)
+				cli.cl.noteSaltAck(key, salt, stamp)
 			}
 			if inner != nil {
 				inner(c, r)
 			}
 		}
 	}
-	cli.quorumWrite(c, key, cb, func(opaque uint32) []byte {
-		return memcached.BuildSet(key, value, flags, opaque)
+	if cli.opt.HotKey.Enable {
+		// Coherence, write path: drop every core's cached copy now (a
+		// read racing the write must not see the old value from this
+		// client), then re-stamp on the quorum ack. Pure invalidation
+		// would instead evict the hottest keys ~10 times per second of
+		// Zipf write traffic per core, capping the hit rate the cache
+		// exists to provide.
+		cli.invalidateHot(c, key, false)
+		gen := cli.tombGen
+		inner := cb
+		valCopy := append([]byte(nil), value...)
+		cb = func(c *event.Ctx, r Response) {
+			// The quorum ack folds the maximum stamp any replica echoed.
+			// Re-stamp the cache only when that fold is our own stamp: a
+			// larger fold means a concurrent writer superseded this value
+			// before it was even acked, and caching it - under either
+			// stamp - would pin a stale value at the newer version number,
+			// which revalidation could then never catch.
+			if r.OK() && r.CAS == stamp {
+				cli.restampHot(c, key, valCopy, flags, stamp, gen)
+			}
+			if inner != nil {
+				inner(c, r)
+			}
+		}
+	}
+	cli.quorumWrite(c, skey, cb, func(opaque uint32) []byte {
+		return memcached.BuildSetStamped(skey, value, flags, opaque, stamp)
 	}, func(r Response) bool { return r.OK() })
 }
 
@@ -475,13 +628,70 @@ func (cli *Client) Set(c *event.Ctx, key, value []byte, flags uint32, cb Callbac
 // range is additionally recorded so the migrator scrubs any copy the
 // in-flight stream's pre-delete snapshot resurrects at the destination.
 func (cli *Client) Delete(c *event.Ctx, key []byte, cb Callback) {
-	cli.cl.noteDelete(key)
 	if cli.opt.HotKey.Enable {
 		cli.invalidateHot(c, key, true)
 	}
-	cli.quorumWrite(c, key, cb, func(opaque uint32) []byte {
-		return memcached.BuildDelete(key, opaque)
-	}, func(r Response) bool { return r.OK() || r.Status == memcached.StatusKeyNotFound })
+	salts := cli.cl.saltsOf(key)
+	if salts <= 1 {
+		cli.cl.noteDelete(key)
+		cli.quorumWrite(c, key, cb, func(opaque uint32) []byte {
+			return memcached.BuildDelete(key, opaque)
+		}, deleteAcked)
+		return
+	}
+	// A write-spread key lives under every salt: absence must be
+	// established at all of them, or a later fan-in read would fold the
+	// surviving salt's copy right back. The targeted-read record stands
+	// down too - there is no "latest written shard" to serve after a
+	// delete, so reads fan in until a new write acks.
+	cli.cl.noteSaltDelete(key)
+	fold := &deleteFold{left: salts, cb: cb}
+	for s := 0; s < salts; s++ {
+		sk := saltedKey(key, s)
+		cli.cl.noteDelete(sk)
+		cli.quorumWrite(c, sk, fold.add, func(opaque uint32) []byte {
+			return memcached.BuildDelete(sk, opaque)
+		}, deleteAcked)
+	}
+}
+
+// deleteAcked is the quorum-ack predicate for deletes: a replica that
+// never held the key counts as acknowledged - absence is the state the
+// operation establishes.
+func deleteAcked(r Response) bool {
+	return r.OK() || r.Status == memcached.StatusKeyNotFound
+}
+
+// deleteFold aggregates a write-spread key's per-salt quorum deletes:
+// success once every salt's quorum established absence, network error
+// if any salt's quorum could not be reached (some shard may still hold
+// a copy).
+type deleteFold struct {
+	left   int
+	sawOK  bool
+	sawErr bool
+	cb     Callback
+}
+
+func (f *deleteFold) add(c *event.Ctx, r Response) {
+	if r.OK() {
+		f.sawOK = true
+	}
+	if r.NetworkError() {
+		f.sawErr = true
+	}
+	f.left--
+	if f.left > 0 || f.cb == nil {
+		return
+	}
+	switch {
+	case f.sawErr:
+		f.cb(c, Response{Status: StatusNetworkError})
+	case f.sawOK:
+		f.cb(c, Response{Status: memcached.StatusOK})
+	default:
+		f.cb(c, Response{Status: memcached.StatusKeyNotFound})
+	}
 }
 
 // quorumWrite fans a write out per the cluster's write plan: every
@@ -505,15 +715,25 @@ func (cli *Client) rep(c *event.Ctx) *clientRep { return cli.ref.Get(c.Core().ID
 // single callback: success at a majority of the replica set, failure as
 // soon as a majority can no longer be reached. Late responses after the
 // verdict are ignored.
+//
+// The reported response's CAS is the MAXIMUM stamp echoed across the
+// acknowledging replicas, folded monotonically as acks arrive: replicas
+// echo the winning stamp under the stamped store rule, so a fold above
+// the write's own stamp means some replica already held a newer
+// concurrent write. The fold mirrors the cache's CAS-monotonic rule at
+// the replica-stamp level - acks are network deliveries with no
+// ordering guarantee, and an older stamp arriving after a newer one
+// must never roll the fold back.
 type quorumCall struct {
-	need  int
-	total int
-	acks  int
-	fails int
-	done  bool
-	first Response // first acknowledged response, reported on success
-	sawOK bool
-	cb    Callback
+	need   int
+	total  int
+	acks   int
+	fails  int
+	done   bool
+	first  Response // first acknowledged response, reported on success
+	sawOK  bool
+	maxCAS uint64 // monotonic max of acked replicas' echoed stamps
+	cb     Callback
 }
 
 func newQuorumCall(total int, cb Callback) *quorumCall {
@@ -525,6 +745,9 @@ func (q *quorumCall) add(c *event.Ctx, r Response, ack bool) {
 		return
 	}
 	if ack {
+		if r.CAS > q.maxCAS {
+			q.maxCAS = r.CAS
+		}
 		if q.acks == 0 {
 			q.first = r
 		}
@@ -539,7 +762,11 @@ func (q *quorumCall) add(c *event.Ctx, r Response, ack bool) {
 	if q.acks >= q.need {
 		q.done = true
 		if q.cb != nil {
-			q.cb(c, q.first)
+			resp := q.first
+			if q.maxCAS > resp.CAS {
+				resp.CAS = q.maxCAS
+			}
+			q.cb(c, resp)
 		}
 		return
 	}

@@ -31,6 +31,11 @@ type Options struct {
 	// client created on this cluster (a client's own ClientOptions.HotKey
 	// takes precedence when enabled). See HotKeyOptions.
 	HotKey HotKeyOptions
+	// HotWrite configures salted hot-write spreading. Unlike HotKey it
+	// is purely deployment-level: salting changes where data lives, so
+	// every client - cached or not - must salt and fan in consistently.
+	// See HotWriteOptions.
+	HotWrite HotWriteOptions
 	// Net is the network stack configuration every node boots with
 	// (zero value: netstack.DefaultConfig()). The lossy-link experiment
 	// uses it to compare the adaptive-RTO transport against the
@@ -52,6 +57,25 @@ type Cluster struct {
 	// HotKey is the deployment-wide hot-key cache configuration clients
 	// inherit (Options.HotKey).
 	HotKey HotKeyOptions
+	// HotWrite is the deployment-wide write-spreading configuration
+	// (Options.HotWrite, resolved to its defaults when enabled).
+	HotWrite HotWriteOptions
+
+	// stampSeq feeds nextStamp: the coordinator-assigned, replica-wide
+	// version stamps every client write carries. One counter for the
+	// deployment keeps stamps totally ordered across clients and cores.
+	stampSeq uint64
+
+	// writeSketch and salted implement hot-write spreading: the sketch
+	// counts writes per key cluster-wide; a key crossing
+	// HotWrite.PromoteMin is entered into salted with a round-robin
+	// cursor and its writes spread over HotWrite.Salts storage keys
+	// from then on. Cluster-level (not per-client) on purpose: salting
+	// changes placement, so a reader that disagreed with the writer
+	// about a key's salt set would simply miss its newest value.
+	writeSketch *cmSketch
+	salted      map[string]*saltState
+	hotWrite    HotWriteStats
 
 	down            []bool // per backend: evicted from the ring
 	draining        []bool // off the ring but still serving its old share (live decommission)
@@ -113,6 +137,12 @@ func NewCluster(backends int, opt Options) *Cluster {
 		Ring:     NewRing(opt.VNodes),
 		Replicas: opt.Replicas,
 		HotKey:   opt.HotKey,
+		HotWrite: opt.HotWrite,
+	}
+	if cl.HotWrite.Enable {
+		cl.HotWrite = cl.HotWrite.WithDefaults()
+		cl.writeSketch = newCMSketch(cl.HotWrite.SketchWidth, cl.HotWrite.SketchDepth)
+		cl.salted = map[string]*saltState{}
 	}
 	for i := 0; i < backends; i++ {
 		cl.AddBackend(opt.CoresPerBackend)
@@ -257,6 +287,113 @@ func (cl *Cluster) WritePlan(key []byte) (targets, quorum []int) {
 	}
 	reps := cl.Ring.LookupN(key, cl.Replicas)
 	return reps, reps
+}
+
+// stampBase offsets coordinator-assigned version stamps above any
+// server-minted CAS (Server.nextCAS counts up from 1): a stamped write
+// must always supersede an entry that predates stamping (a direct
+// Prepopulate, a text-protocol store), and the two counters must never
+// produce the same number for different writes of one key.
+const stampBase uint64 = 1 << 48
+
+// nextStamp returns the next replica-wide version stamp. The client Ebb
+// draws one per write at submit; every replica stores and echoes it
+// verbatim, which is what makes CAS comparisons meaningful across a
+// replica set. The counter is deployment-wide shared state like the
+// ring - coordination the simulation models at the cluster object.
+func (cl *Cluster) nextStamp() uint64 {
+	cl.stampSeq++
+	return stampBase + cl.stampSeq
+}
+
+// saltState is one promoted key's spreading state: the write
+// round-robin cursor, plus the latest acknowledged salt and stamp -
+// the shard a read targets first and the version it verifies against.
+// Deployment-wide shared state like the ring (the simulation models the
+// coordination at the cluster object): every client must round-robin
+// and target consistently or reads would miss fresh writes.
+type saltState struct {
+	rr        int
+	lastSalt  int
+	lastStamp uint64
+}
+
+// writeSaltFor routes one write of key: it counts the write in the
+// cluster's write-frequency sketch, promotes the key into the salted
+// set when it crosses the threshold, and for a salted key returns the
+// round-robin salt's storage key plus which salt was picked. Unsalted
+// (or spreading disabled): the key itself, spread=false.
+func (cl *Cluster) writeSaltFor(key []byte) (skey []byte, salt int, spread bool) {
+	if cl.writeSketch == nil {
+		return key, 0, false
+	}
+	st, ok := cl.salted[string(key)]
+	if !ok {
+		if cl.writeSketch.touch(ringHash(key)) < cl.HotWrite.PromoteMin {
+			return key, 0, false
+		}
+		st = &saltState{}
+		cl.salted[string(key)] = st
+		cl.hotWrite.Promoted++
+	}
+	s := st.rr % cl.HotWrite.Salts
+	st.rr++
+	cl.hotWrite.SaltedWrites++
+	return saltedKey(key, s), s, true
+}
+
+// noteSaltAck records a spread write's quorum acknowledgment: the salt
+// now holding the newest acked version, folded monotonically by stamp -
+// a slower older write acking after a newer one must not point reads at
+// its shard.
+func (cl *Cluster) noteSaltAck(key []byte, salt int, stamp uint64) {
+	if st, ok := cl.salted[string(key)]; ok && stamp > st.lastStamp {
+		st.lastStamp = stamp
+		st.lastSalt = salt
+	}
+}
+
+// saltTarget reports which salted shard holds a spread key's latest
+// acked write, and that write's stamp for the read to verify against.
+// ok is false when nothing has acked since promotion (or since a
+// delete): the read must fan in across every salt instead.
+func (cl *Cluster) saltTarget(key []byte) (salt int, stamp uint64, ok bool) {
+	st, present := cl.salted[string(key)]
+	if !present || st.lastStamp == 0 {
+		return 0, 0, false
+	}
+	return st.lastSalt, st.lastStamp, true
+}
+
+// noteSaltDelete stands the targeted-read record down: after a delete
+// there is no "latest written shard" to serve from, so reads fan in
+// (and find absence everywhere) until a new write acks.
+func (cl *Cluster) noteSaltDelete(key []byte) {
+	if st, ok := cl.salted[string(key)]; ok {
+		st.lastStamp = 0
+	}
+}
+
+// saltsOf reports how many salted storage keys a read of key must fan
+// in over: 1 for an unsalted key, HotWrite.Salts for a promoted one.
+// Read-only - reads must not advance the write sketch.
+func (cl *Cluster) saltsOf(key []byte) int {
+	if cl.salted == nil {
+		return 1
+	}
+	if _, ok := cl.salted[string(key)]; ok {
+		return cl.HotWrite.Salts
+	}
+	return 1
+}
+
+// HotWriteStats reports the deployment's write-spreading counters.
+func (cl *Cluster) HotWriteStats() HotWriteStats {
+	s := cl.hotWrite
+	if cl.salted != nil {
+		s.Promoted = len(cl.salted)
+	}
+	return s
 }
 
 // Migrating reports whether a handoff window is open.

@@ -29,21 +29,34 @@ import "ebbrt/internal/sim"
 // dual-routing window opens, and reads inside the window bypass the
 // cache entirely, so a cutover can never serve a hit that predates it.
 //
-// CAS scope: stamps are per-server counters, so the coherence rules
-// above assume one authoritative stamper per key - R=1, the hot-key
-// experiment's deployment. Under R>1 a fill served by one replica and a
-// write acked by another carry incomparable stamps, and the
-// monotonic-CAS guards degrade: coherence then rests on the TTL bound
-// alone. Extending the stamps across replicas (or scoping the cache to
-// the primary's responses) is the ROADMAP follow-on.
+// CAS scope: stamps are replica-wide. The client assigns each write's
+// version stamp once at submit (Cluster.nextStamp, a coordinator
+// counter in a space above any server-minted CAS) and every replica
+// stores and echoes that same stamp; read-repair and the migration
+// stream preserve stamps rather than re-minting them. A fill served by
+// one replica and a revalidation served by another therefore compare
+// the same numbers, so the monotonic-CAS guards hold at any R - the
+// R=1-only scoping this cache shipped with is closed. The quorum ack
+// additionally folds the maximum stamp seen across replicas: a write
+// that was superseded by a concurrent newer stamp is detected there and
+// never re-enters the cache under the newer version's number.
+//
+// The write half of the skew - which a read cache cannot absorb - is
+// attacked separately by salted hot-write spreading (HotWriteOptions):
+// a key the cluster's write sketch promotes is split across K salted
+// storage keys, writes round-robin the salts, and reads fan in across
+// them, folding by stamp. Replica-wide stamps are what make the fan-in
+// fold (and the staleness probe's all-owner peek) well defined.
 
 // HotKeyOptions tunes the client Ebb's hot-key cache. The zero value
 // disables it; Enable with everything else zero selects the defaults.
 type HotKeyOptions struct {
-	// Enable turns the cache on. Designed for R=1 deployments: CAS
-	// stamps are per-server, so under replication the version-stamped
-	// coherence degrades to the TTL bound (see the package comment at
-	// the top of this file).
+	// Enable turns the cache on. Coherence holds at any replication
+	// factor: version stamps are replica-wide (coordinator-assigned at
+	// the client, stored and echoed verbatim by every replica), so
+	// fills, revalidations, and write-path re-stamps compare the same
+	// numbers no matter which replica answered (see the package comment
+	// at the top of this file).
 	Enable bool
 	// Disable, on a ClientOptions.HotKey, keeps the cache off for that
 	// client even when the cluster's Options.HotKey enables it for
@@ -289,14 +302,16 @@ func (hc *hotCache) invalidate(key []byte) bool {
 	return true
 }
 
-// flushWhere drops every entry whose key hash satisfies pred,
-// returning how many were dropped. The handoff watcher uses it to
-// clear the ranges a migration is about to move.
-func (hc *hotCache) flushWhere(pred func(hash uint64) bool) int {
+// flushWhere drops every entry satisfying pred, returning how many were
+// dropped. The handoff watcher uses it to clear the ranges a migration
+// is about to move (pred gets the whole entry: a write-spread key's
+// salted shards hash elsewhere than e.hash, and the watcher must flush
+// when any of them is covered).
+func (hc *hotCache) flushWhere(pred func(e *cacheEntry) bool) int {
 	n := 0
 	for e := hc.head; e != nil; {
 		next := e.next
-		if pred(e.hash) {
+		if pred(e) {
 			hc.remove(e)
 			n++
 		}
@@ -370,4 +385,74 @@ func newHotKeyRep(opt HotKeyOptions) *hotKeyRep {
 	hk.sketch = newCMSketch(opt.SketchWidth, opt.SketchDepth)
 	hk.cache = newHotCache(opt.Capacity, opt.TTL, &hk.stats)
 	return hk
+}
+
+// HotWriteOptions tunes salted hot-write spreading, the write half of
+// the hot-key fix: the read cache absorbs a hot key's reads, but every
+// one of its writes still lands on the one owner set the ring picks.
+// With spreading on, a key the cluster's write-frequency sketch promotes
+// is split across Salts salted storage keys - each hashing to its own
+// owner set - writes round-robin the salts, and reads fan in across
+// them, folding to the newest version by replica-wide stamp. Promotion
+// is cluster-level state (like the ring), so every client salts and
+// fans in consistently; it is sticky for the deployment's lifetime.
+// The zero value disables spreading.
+type HotWriteOptions struct {
+	// Enable turns write spreading on for the deployment.
+	Enable bool
+	// Salts is the number of shards a promoted key's writes are spread
+	// over, including the unsalted base key (default 4).
+	Salts int
+	// PromoteMin is the cluster write-sketch estimate at which a key's
+	// writes start round-robining (default 16).
+	PromoteMin uint32
+	// SketchWidth and SketchDepth size the cluster-wide write-frequency
+	// sketch (defaults 1024 x 4).
+	SketchWidth int
+	SketchDepth int
+}
+
+// WithDefaults returns o with every unset field at its default.
+func (o HotWriteOptions) WithDefaults() HotWriteOptions {
+	if o.Salts <= 1 {
+		o.Salts = 4
+	}
+	if o.Salts > 9 {
+		o.Salts = 9 // single-byte salt suffix; 9 owner sets spread any hot key
+	}
+	if o.PromoteMin == 0 {
+		o.PromoteMin = 16
+	}
+	if o.SketchWidth <= 0 {
+		o.SketchWidth = 1024
+	}
+	if o.SketchDepth <= 0 {
+		o.SketchDepth = 4
+	}
+	return o
+}
+
+// HotWriteStats counts the deployment's write-spreading activity.
+type HotWriteStats struct {
+	// Promoted counts keys the write sketch has split across salts.
+	Promoted int
+	// SaltedWrites and SaltedReads count operations against spread keys:
+	// writes that round-robined a salt, reads that went through the
+	// targeted-shard path.
+	SaltedWrites, SaltedReads uint64
+	// SaltedFanIns counts reads that fell back to the full fan-in across
+	// every salt - no acked write on record, or the targeted shard served
+	// a copy older than the acked stamp.
+	SaltedFanIns uint64
+}
+
+// saltedKey returns the storage key for one shard of a spread key: salt
+// 0 is the key itself (so pre-promotion data stays reachable), salt i>0
+// appends a suffix starting with NUL - a byte no text-protocol key can
+// contain, so salted shards can never collide with client keys.
+func saltedKey(key []byte, salt int) []byte {
+	if salt == 0 {
+		return key
+	}
+	return append(append(append([]byte(nil), key...), 0, '#'), byte('0'+salt))
 }

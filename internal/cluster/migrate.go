@@ -736,7 +736,11 @@ func (m *Migrator) stream(c *event.Ctx, b *Backend, coord hosted.NodeId, req xfe
 	fencedPipeline(c, b.Node.Runtime, dest.IP(), func(c *event.Ctx, conn appnet.Conn) {
 		var buf []byte
 		for i, kv := range entries {
-			buf = append(buf, memcached.BuildAdd([]byte(kv.key), kv.e.Value, kv.e.Flags, uint32(i), true)...)
+			// The ADD carries the entry's version stamp: the restored copy
+			// must hold the SAME stamp as the surviving replicas, or later
+			// cross-replica CAS comparisons (hot-key revalidation, fan-in
+			// folds) would see the migrated copy as a different version.
+			buf = append(buf, memcached.BuildAddStamped([]byte(kv.key), kv.e.Value, kv.e.Flags, uint32(i), true, kv.e.CAS)...)
 			if len(buf) >= m.cfg.ChunkBytes {
 				conn.Send(c, iobuf.Wrap(buf))
 				buf = nil
