@@ -1,12 +1,16 @@
 // Command benchguard is the CI benchmark regression gate: it runs the
-// cluster-scaling, hot-key, replicated hot-key (R=3), and lossy-link
-// experiments at smoke scale, writes the measured numbers to JSON
-// artifacts, and exits non-zero if any headline number regresses below
-// its committed floor. The floors are deliberately below the measured
-// values (4x scaling measured vs 3.0 floor; ~1.7x hot-key improvement
-// measured vs 1.3 floor; ~1.9x replicated hot-key improvement measured
-// vs 1.5 floor; ~6x adaptive-RTO advantage at 5% loss measured vs 1.5
-// floor) so the gate trips on real regressions, not noise.
+// cluster-scaling, hot-key, replicated hot-key (R=3), lossy-link, and
+// memory-pressure experiments at smoke scale, writes the measured
+// numbers to JSON artifacts, and exits non-zero if any headline number
+// regresses below its committed floor. The floors are deliberately
+// below the measured values (4x scaling measured vs 3.0 floor; ~1.7x
+// hot-key improvement measured vs 1.3 floor; ~1.9x replicated hot-key
+// improvement measured vs 1.5 floor; ~6x adaptive-RTO advantage at 5%
+// loss measured vs 1.5 floor; ~0.77 LRU hit rate under 2x memory
+// pressure vs 0.55 floor) so the gate trips on real regressions, not
+// noise. Two memory-pressure gates are hard, not floors: the bounded
+// stores must never exceed their byte budget, and the expiry probe
+// must find zero expired values served from any layer.
 package main
 
 import (
@@ -96,10 +100,39 @@ type lossyReport struct {
 	Pass            bool    `json:"pass"`
 }
 
+// mempReport is the BENCH_memp.json schema: the bounded store under a
+// 2x-budget ETC offered load, slab-classed LRU versus FIFO, with the
+// hard memory bound and the expiry probe as gates.
+type mempReport struct {
+	Backends       int     `json:"backends"`
+	BudgetBytes    uint64  `json:"budget_bytes_per_backend"`
+	PressureFactor float64 `json:"pressure_factor"`
+	// LRUHitRate is the number the hit-rate floor guards; LRUAdvantage
+	// (LRU minus FIFO hit rate) must not go negative.
+	LRUHitRate   float64 `json:"lru_hit_rate"`
+	FIFOHitRate  float64 `json:"fifo_hit_rate"`
+	LRUAdvantage float64 `json:"lru_advantage"`
+	Evictions    uint64  `json:"lru_evictions"`
+	Expired      uint64  `json:"lru_expired_reclaims"`
+	// PeakBytes is the worst per-backend footprint across both runs; the
+	// hard gate is PeakBytes <= BudgetBytes, no tolerance.
+	PeakBytes  uint64 `json:"peak_bytes_per_backend"`
+	MemBounded bool   `json:"mem_bounded"`
+	// Expiry probe across both runs: values served past their deadline
+	// from any layer, and expired entries still live in the stores.
+	ProbeKeys        int     `json:"expiry_probe_keys"`
+	ExpiredServed    int     `json:"expired_served"`
+	StoreLiveExpired int     `json:"store_live_expired"`
+	MinHitRate       float64 `json:"floor_lru_hit_rate"`
+	Pass             bool    `json:"pass"`
+}
+
 func main() {
 	out := flag.String("out", "BENCH_hotkey.json", "report artifact path")
 	r3Out := flag.String("r3-out", "BENCH_hotkey_r3.json", "replicated hot-key report artifact path")
 	lossyOut := flag.String("lossy-out", "BENCH_lossy.json", "lossy-link report artifact path")
+	mempOut := flag.String("memp-out", "BENCH_memp.json", "memory-pressure report artifact path")
+	minMempHit := flag.Float64("min-memp-hit", 0.55, "floor for the LRU hit rate under 2x memory pressure")
 	minScaling := flag.Float64("min-scaling", 3.0, "floor for 4-backend scaling speedup")
 	minImprove := flag.Float64("min-improvement", 1.3, "floor for the hot-key skewed-tail improvement")
 	minR3 := flag.Float64("min-r3-improvement", 1.5, "floor for the replicated (R=3) hot-key improvement")
@@ -241,6 +274,47 @@ func main() {
 	}
 	fmt.Printf("\nbenchguard: wrote %s\n%s", *lossyOut, ldata)
 
+	fmt.Println("\nbenchguard: memory-pressure smoke (bounded stores at 2x budget, LRU vs FIFO)")
+	mp := experiments.MemoryPressure(experiments.MemoryPressureOptions{
+		TargetRPS: 60000,
+		Duration:  25 * sim.Millisecond,
+	})
+	fmt.Print(experiments.FormatMemoryPressure(mp))
+	lru, fifo := mp.Rows[0], mp.Rows[1]
+	peak := lru.Stores.PeakBytes
+	if fifo.Stores.PeakBytes > peak {
+		peak = fifo.Stores.PeakBytes
+	}
+	mrep := mempReport{
+		Backends:         mp.Opt.Backends,
+		BudgetBytes:      mp.Opt.BudgetBytes,
+		PressureFactor:   mp.Opt.PressureFactor,
+		LRUHitRate:       lru.HitRate,
+		FIFOHitRate:      fifo.HitRate,
+		LRUAdvantage:     mp.LRUAdvantage,
+		Evictions:        lru.Stores.Evictions,
+		Expired:          lru.Stores.Expired,
+		PeakBytes:        peak,
+		MemBounded:       lru.MemBounded && fifo.MemBounded,
+		ProbeKeys:        lru.ProbeKeys,
+		ExpiredServed:    lru.ExpiredServed + fifo.ExpiredServed,
+		StoreLiveExpired: lru.StoreLiveExpired + fifo.StoreLiveExpired,
+		MinHitRate:       *minMempHit,
+	}
+	mrep.Pass = mrep.MemBounded && mrep.LRUHitRate >= *minMempHit &&
+		mrep.ExpiredServed == 0 && mrep.StoreLiveExpired == 0 && mrep.LRUAdvantage >= 0
+	mdata, err := json.MarshalIndent(mrep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	mdata = append(mdata, '\n')
+	if err := os.WriteFile(*mempOut, mdata, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("\nbenchguard: wrote %s\n%s", *mempOut, mdata)
+
 	switch {
 	case !rep.TTLBounded:
 		fmt.Fprintln(os.Stderr, "benchguard FAIL: staleness probe exceeded the TTL bound")
@@ -265,6 +339,18 @@ func main() {
 		os.Exit(1)
 	case lrep.AdaptiveNetErrs != 0:
 		fmt.Fprintf(os.Stderr, "benchguard FAIL: %d failed client callbacks under loss with adaptive RTO\n", lrep.AdaptiveNetErrs)
+		os.Exit(1)
+	case !mrep.MemBounded:
+		fmt.Fprintf(os.Stderr, "benchguard FAIL: bounded store peak %d bytes exceeded the %d-byte budget\n", mrep.PeakBytes, mrep.BudgetBytes)
+		os.Exit(1)
+	case mrep.ExpiredServed != 0 || mrep.StoreLiveExpired != 0:
+		fmt.Fprintf(os.Stderr, "benchguard FAIL: expiry probe saw %d expired values served, %d live in stores\n", mrep.ExpiredServed, mrep.StoreLiveExpired)
+		os.Exit(1)
+	case mrep.LRUHitRate < *minMempHit:
+		fmt.Fprintf(os.Stderr, "benchguard FAIL: LRU hit rate %.3f under memory pressure below floor %.3f\n", mrep.LRUHitRate, *minMempHit)
+		os.Exit(1)
+	case mrep.LRUAdvantage < 0:
+		fmt.Fprintf(os.Stderr, "benchguard FAIL: LRU hit rate below FIFO by %.3f\n", -mrep.LRUAdvantage)
 		os.Exit(1)
 	}
 	fmt.Println("benchguard PASS")

@@ -1,0 +1,71 @@
+// Command ebbrt-memp runs the memory-pressure experiment: the ETC
+// workload offered a dataset larger than the backends' bounded stores
+// can hold, once per eviction policy (slab-classed LRU vs FIFO). It
+// reports the hit rate each policy sustains, verifies every backend
+// stayed inside its byte budget, and drives the expiry probe: after the
+// run it crosses every expiring key's deadline and checks that not one
+// is served from the stores or any core's hot-key cache.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ebbrt/internal/cluster"
+	"ebbrt/internal/experiments"
+	"ebbrt/internal/sim"
+)
+
+func main() {
+	backends := flag.Int("backends", 2, "backend count")
+	budgetMiB := flag.Int("budget", 8, "per-backend store budget (MiB, multiple of 8)")
+	pressure := flag.Float64("pressure", 2, "offered dataset size over aggregate budget")
+	rate := flag.Float64("rate", 120000, "offered RPS")
+	durMs := flag.Int("duration", 60, "measured window (ms)")
+	valueMean := flag.Float64("value-mean", 1200, "ETC value-size mean (bytes)")
+	skew := flag.Float64("skew", 1.2, "Zipf skew exponent")
+	expireEvery := flag.Int("expire-every", 10, "every Nth key writes with a 1s exptime")
+	frontCores := flag.Int("front-cores", 4, "hosted frontend cores")
+	capacity := flag.Int("capacity", 128, "hot-key cache entries per core")
+	promote := flag.Uint("promote", 4, "sketch count to promote a key")
+	minHit := flag.Float64("min-hit", 0, "exit non-zero if the LRU hit rate falls below this")
+	flag.Parse()
+
+	res := experiments.MemoryPressure(experiments.MemoryPressureOptions{
+		Backends:       *backends,
+		BudgetBytes:    uint64(*budgetMiB) << 20,
+		PressureFactor: *pressure,
+		TargetRPS:      *rate,
+		Duration:       sim.Time(*durMs) * sim.Millisecond,
+		ValueMean:      *valueMean,
+		ZipfSkew:       *skew,
+		ExpireEvery:    *expireEvery,
+		FrontendCores:  *frontCores,
+		Cache: cluster.HotKeyOptions{
+			Capacity:   *capacity,
+			PromoteMin: uint32(*promote),
+		},
+	})
+	fmt.Print(experiments.FormatMemoryPressure(res))
+
+	fail := false
+	for _, row := range res.Rows {
+		if !row.MemBounded {
+			fmt.Fprintf(os.Stderr, "%s: peak %d bytes exceeded budget %d\n", row.Policy, row.Stores.PeakBytes, row.Stores.BudgetBytes)
+			fail = true
+		}
+		if row.ExpiredServed > 0 || row.StoreLiveExpired > 0 {
+			fmt.Fprintf(os.Stderr, "%s: expiry probe served %d expired values (%d live in stores)\n",
+				row.Policy, row.ExpiredServed, row.StoreLiveExpired)
+			fail = true
+		}
+	}
+	if *minHit > 0 && res.Rows[0].HitRate < *minHit {
+		fmt.Fprintf(os.Stderr, "LRU hit rate %.3f below floor %.3f\n", res.Rows[0].HitRate, *minHit)
+		fail = true
+	}
+	if fail {
+		os.Exit(1)
+	}
+}

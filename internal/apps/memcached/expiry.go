@@ -1,0 +1,71 @@
+package memcached
+
+import "ebbrt/internal/sim"
+
+// Expiry semantics, stock-memcached-exact (docs/PROTOCOL.md "Expiry").
+//
+// Every wire protocol carries expiry as `exptime`, an integer number of
+// seconds interpreted by memcached's long-standing rules:
+//
+//   - 0 means "never expires";
+//   - a value up to 30 days (2,592,000 seconds) is RELATIVE: the entry
+//     expires that many seconds from now;
+//   - a value above 30 days is an ABSOLUTE unix timestamp;
+//   - a negative value (text protocol only - the binary field is
+//     unsigned) or an absolute timestamp already in the past expires the
+//     entry immediately: it is stored, but no read will ever see it.
+//
+// Expiry is lazy, as in stock memcached: nothing sweeps the store on a
+// timer. An expired entry is reclaimed when a request touches it (any
+// lookup path treats it as absent and deletes it) or when the bounded
+// store's eviction scan reaches it. Migration and read-repair streams
+// filter expired entries at stream time so a new owner never resurrects
+// them.
+//
+// All of this runs on simulated time, so expiry tests are deterministic:
+// the simulation's unix clock is defined below.
+
+// UnixEpochOffset anchors the simulation's unix clock: virtual time 0 is
+// this unix second. Absolute exptimes (> MaxRelativeExpiry) are
+// interpreted against it, which is what lets tests exercise the 30-day
+// absolute rule without waiting 30 days of virtual time.
+const UnixEpochOffset int64 = 1_700_000_000
+
+// MaxRelativeExpiry is the stock 30-day cutoff: an exptime at or below
+// it is relative seconds-from-now, above it an absolute unix timestamp.
+const MaxRelativeExpiry int64 = 30 * 24 * 60 * 60
+
+// ExpiredImmediately is the Entry.Expires sentinel for "stored already
+// dead" (negative exptime, or an absolute timestamp in the past).
+const ExpiredImmediately = sim.Time(-1)
+
+// UnixNow maps a virtual instant onto the simulation's unix clock.
+func UnixNow(now sim.Time) int64 {
+	return UnixEpochOffset + int64(now/sim.Second)
+}
+
+// AbsoluteExpiry resolves a wire exptime into the absolute virtual time
+// the entry dies at (0 = never), applying the stock rules above.
+func AbsoluteExpiry(exptime int64, now sim.Time) sim.Time {
+	switch {
+	case exptime == 0:
+		return 0
+	case exptime < 0:
+		return ExpiredImmediately
+	case exptime > MaxRelativeExpiry:
+		secs := exptime - UnixEpochOffset
+		if at := sim.Time(secs) * sim.Second; at > now {
+			return at
+		}
+		return ExpiredImmediately
+	default:
+		return now + sim.Time(exptime)*sim.Second
+	}
+}
+
+// Expired reports whether the entry is dead at the given instant: an
+// Expires of 0 never expires, anything else expires once now reaches it
+// (ExpiredImmediately is below any valid instant, so it is always dead).
+func (e *Entry) Expired(now sim.Time) bool {
+	return e.Expires != 0 && e.Expires <= now
+}

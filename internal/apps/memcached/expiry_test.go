@@ -1,0 +1,341 @@
+package memcached
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"ebbrt/internal/event"
+	"ebbrt/internal/iobuf"
+	"ebbrt/internal/machine"
+	"ebbrt/internal/sim"
+)
+
+// Expiry semantics tests: the exptime resolution rules as pure units,
+// then the full server paths (both protocols) driven across virtual
+// time - the whole point of sim-time expiry is that "wait 30 days" is a
+// deterministic unit test here.
+
+func TestAbsoluteExpiryRules(t *testing.T) {
+	now := 10 * sim.Second
+	cases := []struct {
+		name    string
+		exptime int64
+		want    sim.Time
+	}{
+		{"zero-never", 0, 0},
+		{"negative-immediate", -1, ExpiredImmediately},
+		{"relative-1s", 1, now + sim.Second},
+		{"relative-30d-boundary", MaxRelativeExpiry, now + sim.Time(MaxRelativeExpiry)*sim.Second},
+		{"absolute-future", UnixEpochOffset + 60, 60 * sim.Second},
+		{"absolute-past", UnixEpochOffset + 5, ExpiredImmediately},
+		{"absolute-now", UnixEpochOffset + 10, ExpiredImmediately},
+	}
+	for _, tc := range cases {
+		if got := AbsoluteExpiry(tc.exptime, now); got != tc.want {
+			t.Errorf("%s: AbsoluteExpiry(%d, %v) = %v, want %v", tc.name, tc.exptime, now, got, tc.want)
+		}
+	}
+	e := &Entry{Expires: 5 * sim.Second}
+	if e.Expired(5*sim.Second - 1) {
+		t.Error("entry expired before its deadline")
+	}
+	if !e.Expired(5 * sim.Second) {
+		t.Error("entry not expired at its deadline")
+	}
+	if (&Entry{}).Expired(1 << 60) {
+		t.Error("never-expiring entry expired")
+	}
+	if !(&Entry{Expires: ExpiredImmediately}).Expired(0) {
+		t.Error("immediately-expired entry served")
+	}
+}
+
+// timedStep is one action at a virtual instant, for tests that must
+// cross expiry deadlines.
+type timedStep struct {
+	at sim.Time
+	fn func(c *event.Ctx)
+}
+
+// runTimed executes the steps at their instants on one simulated core.
+func runTimed(t *testing.T, horizon sim.Time, steps []timedStep) {
+	t.Helper()
+	k := sim.NewKernel()
+	m := machine.New(k, machine.DefaultConfig("proto", 1))
+	mgr := event.NewManager(m.Cores[0], event.DefaultCosts())
+	ran := 0
+	for _, st := range steps {
+		st := st
+		mgr.After(st.at, func(c *event.Ctx) {
+			st.fn(c)
+			ran++
+		})
+	}
+	k.RunUntil(horizon)
+	if ran != len(steps) {
+		t.Fatalf("only %d of %d timed steps ran", ran, len(steps))
+	}
+}
+
+// TestTextExptimeHonored is the anchor-bug regression: the text parser
+// always validated exptime and then dropped it, so `set k 0 1 v` never
+// expired. The entry must serve before the deadline and miss after it.
+func TestTextExptimeHonored(t *testing.T) {
+	srv := NewServer(NewRCUStore(), 1)
+	sc := &serverConn{srv: srv}
+	fc := &fakeConn{}
+	runTimed(t, 5*sim.Second, []timedStep{
+		{0, func(c *event.Ctx) {
+			sc.onData(c, fc, wrapBytes("set k 0 1 5\r\nhello\r\n"))
+			if string(fc.out) != respStored {
+				t.Fatalf("store response %q", fc.out)
+			}
+			fc.out = nil
+		}},
+		{900 * sim.Millisecond, func(c *event.Ctx) {
+			sc.onData(c, fc, wrapBytes("get k\r\n"))
+			if want := "VALUE k 0 5\r\nhello\r\n" + respEnd; string(fc.out) != want {
+				t.Fatalf("pre-expiry get %q, want %q", fc.out, want)
+			}
+			fc.out = nil
+		}},
+		{1100 * sim.Millisecond, func(c *event.Ctx) {
+			sc.onData(c, fc, wrapBytes("get k\r\n"))
+			if string(fc.out) != respEnd {
+				t.Fatalf("post-expiry get served %q - the exptime was dropped on the floor", fc.out)
+			}
+			if srv.Store.Len() != 0 {
+				t.Fatal("expired entry not lazily reclaimed by the lookup")
+			}
+			if srv.ExpiredReclaimed != 1 {
+				t.Fatalf("ExpiredReclaimed = %d, want 1", srv.ExpiredReclaimed)
+			}
+		}},
+	})
+}
+
+// TestBinarySetExptimeHonored drives the binary extras' exptime field
+// through the same deadline crossing.
+func TestBinarySetExptimeHonored(t *testing.T) {
+	srv := NewServer(NewRCUStore(), 1)
+	sc := &serverConn{srv: srv}
+	fc := &fakeConn{}
+	req := BuildSet([]byte("k"), []byte("v"), 0, 1)
+	binary.BigEndian.PutUint32(req[HeaderLen+4:], 2) // exptime: 2 seconds
+	runTimed(t, 5*sim.Second, []timedStep{
+		{0, func(c *event.Ctx) {
+			sc.onData(c, fc, wrapBytes(string(req)))
+			sc.onData(c, fc, wrapBytes(string(BuildGet([]byte("k"), 2))))
+			hdrs, bodies := parseResponses(t, fc.out)
+			if len(hdrs) != 2 || hdrs[1].Status != StatusOK {
+				t.Fatalf("pre-expiry responses %+v", hdrs)
+			}
+			// The GET response's extras carry the absolute expiry.
+			if len(bodies[1]) < GetResponseExtrasLen {
+				t.Fatalf("GET extras %d bytes, want %d", len(bodies[1]), GetResponseExtrasLen)
+			}
+			if exp := sim.Time(int64(binary.BigEndian.Uint64(bodies[1][4:12]))); exp != 2*sim.Second {
+				t.Fatalf("GET extras expiry %v, want 2s", exp)
+			}
+			fc.out = nil
+		}},
+		{2100 * sim.Millisecond, func(c *event.Ctx) {
+			sc.onData(c, fc, wrapBytes(string(BuildGet([]byte("k"), 3))))
+			hdrs, _ := parseResponses(t, fc.out)
+			if len(hdrs) != 1 || hdrs[0].Status != StatusKeyNotFound {
+				t.Fatalf("post-expiry get %+v, want KeyNotFound", hdrs)
+			}
+		}},
+	})
+}
+
+// TestNegativeAndPastExptime: a negative exptime (text only) and an
+// absolute unix time already in the past both store the entry dead.
+func TestNegativeAndPastExptime(t *testing.T) {
+	protoHarness(t, func(c *event.Ctx) {
+		srv := NewServer(NewRCUStore(), 1)
+		_, fc := feed(c, srv, []byte(
+			"set dead 0 -1 1\r\nx\r\n"+
+				"get dead\r\n"))
+		if want := respStored + respEnd; string(fc.out) != want {
+			t.Fatalf("negative exptime session %q, want %q", fc.out, want)
+		}
+	})
+	protoHarness(t, func(c *event.Ctx) {
+		srv := NewServer(NewRCUStore(), 1)
+		past := UnixNow(c.Now()) - 100
+		line := "set dead 0 " + itoa(int(past)) + " 1\r\nx\r\nget dead\r\n"
+		_, fc := feed(c, srv, []byte(line))
+		if want := respStored + respEnd; string(fc.out) != want {
+			t.Fatalf("past absolute exptime session %q, want %q", fc.out, want)
+		}
+	})
+}
+
+// TestAbsoluteUnixExptime: a value above the 30-day cutoff is an
+// absolute unix timestamp on the simulation's unix clock.
+func TestAbsoluteUnixExptime(t *testing.T) {
+	srv := NewServer(NewRCUStore(), 1)
+	sc := &serverConn{srv: srv}
+	fc := &fakeConn{}
+	// Absolute: unix second 3 of the sim clock = virtual time 3s.
+	line := "set k 0 " + itoa(int(UnixEpochOffset)+3) + " 1\r\nv\r\n"
+	runTimed(t, 10*sim.Second, []timedStep{
+		{0, func(c *event.Ctx) {
+			sc.onData(c, fc, wrapBytes(line))
+			if string(fc.out) != respStored {
+				t.Fatalf("store %q", fc.out)
+			}
+			fc.out = nil
+		}},
+		{2900 * sim.Millisecond, func(c *event.Ctx) {
+			sc.onData(c, fc, wrapBytes("get k\r\n"))
+			if string(fc.out) == respEnd {
+				t.Fatal("entry expired before its absolute deadline")
+			}
+			fc.out = nil
+		}},
+		{3100 * sim.Millisecond, func(c *event.Ctx) {
+			sc.onData(c, fc, wrapBytes("get k\r\n"))
+			if string(fc.out) != respEnd {
+				t.Fatalf("entry survived its absolute deadline: %q", fc.out)
+			}
+		}},
+	})
+}
+
+// TestTouchExtendsDeadline: touch moves a live entry's expiry without
+// minting a CAS; touch on a missing (or expired) key is NOT_FOUND.
+func TestTouchExtendsDeadline(t *testing.T) {
+	srv := NewServer(NewRCUStore(), 1)
+	sc := &serverConn{srv: srv}
+	fc := &fakeConn{}
+	var casBefore uint64
+	runTimed(t, 10*sim.Second, []timedStep{
+		{0, func(c *event.Ctx) {
+			sc.onData(c, fc, wrapBytes("set k 0 1 1\r\nv\r\ntouch missing 5\r\n"))
+			if want := respStored + respNotFound; string(fc.out) != want {
+				t.Fatalf("setup %q, want %q", fc.out, want)
+			}
+			e, _ := srv.Store.Get("k")
+			casBefore = e.CAS
+			fc.out = nil
+		}},
+		{500 * sim.Millisecond, func(c *event.Ctx) {
+			sc.onData(c, fc, wrapBytes("touch k 4\r\n"))
+			if string(fc.out) != respTouched {
+				t.Fatalf("touch %q", fc.out)
+			}
+			e, ok := srv.Store.Get("k")
+			if !ok || e.CAS != casBefore {
+				t.Fatalf("touch minted a CAS: %d -> %d", casBefore, e.CAS)
+			}
+			fc.out = nil
+		}},
+		{2 * sim.Second, func(c *event.Ctx) {
+			// Original deadline (1s) passed, touched deadline (0.5s+4s) not.
+			sc.onData(c, fc, wrapBytes("get k\r\n"))
+			if string(fc.out) == respEnd {
+				t.Fatal("touched entry expired at its ORIGINAL deadline")
+			}
+			fc.out = nil
+		}},
+		{5 * sim.Second, func(c *event.Ctx) {
+			sc.onData(c, fc, wrapBytes("get k\r\ntouch k 1\r\n"))
+			if want := respEnd + respNotFound; string(fc.out) != want {
+				t.Fatalf("post-deadline %q, want %q", fc.out, want)
+			}
+		}},
+	})
+}
+
+// TestFlushAllImmediateAndDelayed: flush_all kills everything stored
+// before it; with a delay the cut takes effect at the deadline, killing
+// entries stored before the deadline (even after the command) but not
+// entries stored after it.
+func TestFlushAllImmediateAndDelayed(t *testing.T) {
+	protoHarness(t, func(c *event.Ctx) {
+		srv := NewServer(NewRCUStore(), 1)
+		_, fc := feed(c, srv, []byte(
+			"set a 0 0 1\r\nx\r\n"+
+				"flush_all\r\n"+
+				"get a\r\n"+
+				"set b 0 0 1\r\ny\r\n"+
+				"get b\r\n"))
+		want := respStored + respOK + respEnd + respStored + "VALUE b 0 1\r\ny\r\n" + respEnd
+		if string(fc.out) != want {
+			t.Fatalf("immediate flush session:\n got %q\nwant %q", fc.out, want)
+		}
+	})
+
+	srv := NewServer(NewRCUStore(), 1)
+	sc := &serverConn{srv: srv}
+	fc := &fakeConn{}
+	runTimed(t, 10*sim.Second, []timedStep{
+		{0, func(c *event.Ctx) {
+			sc.onData(c, fc, wrapBytes("set a 0 0 1\r\nx\r\nflush_all 2\r\n"))
+			if want := respStored + respOK; string(fc.out) != want {
+				t.Fatalf("setup %q", fc.out)
+			}
+			fc.out = nil
+		}},
+		{1 * sim.Second, func(c *event.Ctx) {
+			// Inside the delay window: a is still alive, and b (stored now,
+			// still before the deadline) will die at the cut too.
+			sc.onData(c, fc, wrapBytes("get a\r\nset b 0 0 1\r\ny\r\n"))
+			if want := "VALUE a 0 1\r\nx\r\n" + respEnd + respStored; string(fc.out) != want {
+				t.Fatalf("inside delay window %q, want %q", fc.out, want)
+			}
+			fc.out = nil
+		}},
+		{3 * sim.Second, func(c *event.Ctx) {
+			sc.onData(c, fc, wrapBytes("get a\r\nget b\r\nset d 0 0 1\r\nz\r\nget d\r\n"))
+			want := respEnd + respEnd + respStored + "VALUE d 0 1\r\nz\r\n" + respEnd
+			if string(fc.out) != want {
+				t.Fatalf("post-deadline %q, want %q", fc.out, want)
+			}
+		}},
+	})
+}
+
+// TestExpiredOccupantDoesNotBlockAdd: add must treat a dead occupant as
+// absent, reclaiming it, in both protocols.
+func TestExpiredOccupantDoesNotBlockAdd(t *testing.T) {
+	srv := NewServer(NewRCUStore(), 1)
+	sc := &serverConn{srv: srv}
+	fc := &fakeConn{}
+	runTimed(t, 10*sim.Second, []timedStep{
+		{0, func(c *event.Ctx) {
+			sc.onData(c, fc, wrapBytes("set k 0 1 1\r\na\r\n"))
+			fc.out = nil
+		}},
+		{2 * sim.Second, func(c *event.Ctx) {
+			sc.onData(c, fc, wrapBytes("add k 0 0 1\r\nb\r\nget k\r\n"))
+			if want := respStored + "VALUE k 0 1\r\nb\r\n" + respEnd; string(fc.out) != want {
+				t.Fatalf("add over expired occupant %q, want %q", fc.out, want)
+			}
+		}},
+	})
+}
+
+// TestDeleteOfExpiredIsNotFound: delete must answer as if the dead
+// entry were already gone.
+func TestDeleteOfExpiredIsNotFound(t *testing.T) {
+	srv := NewServer(NewRCUStore(), 1)
+	sc := &serverConn{srv: srv}
+	fc := &fakeConn{}
+	runTimed(t, 10*sim.Second, []timedStep{
+		{0, func(c *event.Ctx) {
+			sc.onData(c, fc, wrapBytes("set k 0 1 1\r\na\r\n"))
+			fc.out = nil
+		}},
+		{2 * sim.Second, func(c *event.Ctx) {
+			sc.onData(c, fc, wrapBytes("delete k\r\n"))
+			if string(fc.out) != respNotFound {
+				t.Fatalf("delete of expired entry %q, want NOT_FOUND", fc.out)
+			}
+		}},
+	})
+}
+
+func wrapBytes(s string) *iobuf.IOBuf { return iobuf.Wrap([]byte(s)) }

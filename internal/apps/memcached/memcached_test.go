@@ -129,8 +129,8 @@ func TestSetGetDeleteOverNetwork(t *testing.T) {
 		t.Fatalf("get response %+v", hdrs[1])
 	}
 	flags := binary.BigEndian.Uint32(bodies[1][:4])
-	if flags != 0xdead || string(bodies[1][4:]) != "the-value" {
-		t.Fatalf("get body flags=%x value=%q", flags, bodies[1][4:])
+	if flags != 0xdead || string(bodies[1][GetResponseExtrasLen:]) != "the-value" {
+		t.Fatalf("get body flags=%x value=%q", flags, bodies[1][GetResponseExtrasLen:])
 	}
 	if hdrs[2].Status != StatusOK {
 		t.Fatalf("delete response %+v", hdrs[2])

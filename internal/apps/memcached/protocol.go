@@ -26,14 +26,20 @@ const (
 
 // Opcodes used by the mutilate-style workload and the migration stream.
 const (
-	OpGet    = 0x00
-	OpSet    = 0x01
-	OpAdd    = 0x02
-	OpDelete = 0x04
-	OpNoop   = 0x0a
-	OpGetQ   = 0x09
-	OpSetQ   = 0x11
-	OpAddQ   = 0x12
+	OpGet       = 0x00
+	OpSet       = 0x01
+	OpAdd       = 0x02
+	OpDelete    = 0x04
+	OpIncrement = 0x05
+	OpDecrement = 0x06
+	OpFlush     = 0x08
+	OpNoop      = 0x0a
+	OpGetQ      = 0x09
+	OpAppend    = 0x0e
+	OpPrepend   = 0x0f
+	OpSetQ      = 0x11
+	OpAddQ      = 0x12
+	OpTouch     = 0x1c
 )
 
 // Response status codes.
@@ -41,7 +47,11 @@ const (
 	StatusOK          = 0x0000
 	StatusKeyNotFound = 0x0001
 	StatusKeyExists   = 0x0002
+	StatusValueTooBig = 0x0003
+	StatusNotStored   = 0x0005
+	StatusDeltaBadval = 0x0006
 	StatusUnknownCmd  = 0x0081
+	StatusOutOfMemory = 0x0082
 )
 
 // HeaderLen is the fixed binary-protocol header size.
@@ -185,8 +195,108 @@ func BuildDelete(key []byte, opaque uint32) []byte {
 	return b
 }
 
-// GetResponseExtrasLen is the flags field carried on GET responses.
-const GetResponseExtrasLen = 4
+// GetResponseExtrasLen is the extras block carried on GET responses:
+// the stock 4-byte flags field followed by the entry's absolute expiry
+// as a signed 64-bit virtual time (0 = never). Stock memcached sends
+// only the flags; the expiry extension is what lets the cluster
+// client's hot-key cache expire cached values at the origin's deadline
+// instead of serving them until its own TTL runs out. Consumers that
+// only want flags read the first 4 bytes and ignore the rest.
+const GetResponseExtrasLen = 12
+
+// SetAbsExpiryExtrasLen marks the internal SET/ADD extras dialect:
+// extras of exactly 8 bytes are the stock {flags u32, exptime u32}
+// (exptime resolved by the server under the stock relative/absolute
+// rules), while extras of this length carry {flags u32, expiry i64} -
+// the entry's absolute virtual expiry, stored verbatim. Migration and
+// read-repair use the latter so a transferred entry keeps its exact
+// deadline; re-encoding as whole seconds would shift it.
+const SetAbsExpiryExtrasLen = 12
+
+// BuildSetAbsExpiry is BuildSetStamped carrying an absolute virtual
+// expiry verbatim (the internal dialect above). Read-repair uses it to
+// copy an entry to a stale replica without disturbing its deadline.
+func BuildSetAbsExpiry(key, value []byte, flags uint32, opaque uint32, stamp uint64, expires int64) []byte {
+	body := SetAbsExpiryExtrasLen + len(key) + len(value)
+	b := make([]byte, HeaderLen+body)
+	WriteHeader(b, Header{
+		Magic: MagicRequest, Opcode: OpSet,
+		KeyLen: uint16(len(key)), ExtrasLen: SetAbsExpiryExtrasLen,
+		BodyLen: uint32(body), Opaque: opaque, CAS: stamp,
+	})
+	binary.BigEndian.PutUint32(b[HeaderLen:], flags)
+	binary.BigEndian.PutUint64(b[HeaderLen+4:], uint64(expires))
+	copy(b[HeaderLen+SetAbsExpiryExtrasLen:], key)
+	copy(b[HeaderLen+SetAbsExpiryExtrasLen+len(key):], value)
+	return b
+}
+
+// BuildAddStampedAbs is BuildAddStamped carrying an absolute virtual
+// expiry verbatim. The migration stream uses it so a transferred entry
+// arrives at its new owner with both the stamp and the deadline the
+// surviving replicas hold.
+func BuildAddStampedAbs(key, value []byte, flags uint32, opaque uint32, quiet bool, stamp uint64, expires int64) []byte {
+	body := SetAbsExpiryExtrasLen + len(key) + len(value)
+	b := make([]byte, HeaderLen+body)
+	op := byte(OpAdd)
+	if quiet {
+		op = OpAddQ
+	}
+	WriteHeader(b, Header{
+		Magic: MagicRequest, Opcode: op,
+		KeyLen: uint16(len(key)), ExtrasLen: SetAbsExpiryExtrasLen,
+		BodyLen: uint32(body), Opaque: opaque, CAS: stamp,
+	})
+	binary.BigEndian.PutUint32(b[HeaderLen:], flags)
+	binary.BigEndian.PutUint64(b[HeaderLen+4:], uint64(expires))
+	copy(b[HeaderLen+SetAbsExpiryExtrasLen:], key)
+	copy(b[HeaderLen+SetAbsExpiryExtrasLen+len(key):], value)
+	return b
+}
+
+// CounterExtrasLen is the extras block on INCREMENT/DECREMENT requests:
+// {delta u64, initial u64, exptime u32}, per the stock binary protocol.
+const CounterExtrasLen = 20
+
+// CounterNoCreate is the INCREMENT/DECREMENT exptime meaning "do not
+// create on miss" (stock memcached's 0xffffffff sentinel).
+const CounterNoCreate = 0xffffffff
+
+// BuildCounter encodes an INCREMENT (incr=true) or DECREMENT request.
+// exptime CounterNoCreate makes a miss an error instead of seeding the
+// counter with initial.
+func BuildCounter(key []byte, delta, initial uint64, exptime uint32, incr bool, opaque uint32) []byte {
+	body := CounterExtrasLen + len(key)
+	b := make([]byte, HeaderLen+body)
+	op := byte(OpDecrement)
+	if incr {
+		op = OpIncrement
+	}
+	WriteHeader(b, Header{
+		Magic: MagicRequest, Opcode: op,
+		KeyLen: uint16(len(key)), ExtrasLen: CounterExtrasLen,
+		BodyLen: uint32(body), Opaque: opaque,
+	})
+	binary.BigEndian.PutUint64(b[HeaderLen:], delta)
+	binary.BigEndian.PutUint64(b[HeaderLen+8:], initial)
+	binary.BigEndian.PutUint32(b[HeaderLen+16:], exptime)
+	copy(b[HeaderLen+CounterExtrasLen:], key)
+	return b
+}
+
+// BuildTouch encodes a TOUCH request (4-byte exptime extras).
+func BuildTouch(key []byte, exptime uint32, opaque uint32) []byte {
+	body := 4 + len(key)
+	b := make([]byte, HeaderLen+body)
+	WriteHeader(b, Header{
+		Magic: MagicRequest, Opcode: OpTouch,
+		KeyLen: uint16(len(key)), ExtrasLen: 4,
+		BodyLen: uint32(body), Opaque: opaque,
+	})
+	binary.BigEndian.PutUint32(b[HeaderLen:], exptime)
+	copy(b[HeaderLen+4:], key)
+	return b
+}
 
 // NextFrame splits one complete packet off the head of a byte stream.
 // It is the single implementation of the protocol's framing rule,

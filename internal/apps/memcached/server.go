@@ -2,6 +2,7 @@ package memcached
 
 import (
 	"encoding/binary"
+	"strconv"
 
 	"ebbrt/internal/apps/appnet"
 	"ebbrt/internal/event"
@@ -24,17 +25,87 @@ type Server struct {
 	RequestCPU sim.Time
 	// Requests counts operations served.
 	Requests uint64
+	// ExpiredReclaimed counts entries deleted lazily because a lookup
+	// found them past their expiry (or behind a due flush_all).
+	ExpiredReclaimed uint64
 
 	// casSeq feeds nextCAS: every stored entry gets a node-unique,
 	// monotonically increasing CAS value, reported by `gets` (and echoed
 	// in binary GET response headers).
 	casSeq uint64
+
+	// flushAt is the pending flush_all deadline: once the clock reaches
+	// it, every entry stored before it is dead (stock memcached's
+	// oldest_live rule). Zero means no flush is pending. The sweep is
+	// lazy - maybeApplyFlush runs it from the request path - but
+	// EntryLive also honors a due-but-unswept deadline so direct store
+	// readers (migration, staleness probes) never see flushed entries.
+	flushAt sim.Time
 }
 
 // nextCAS returns the next CAS value to stamp on a stored entry.
 func (s *Server) nextCAS() uint64 {
 	s.casSeq++
 	return s.casSeq
+}
+
+// mintCAS mints a CAS for a fresh store of an entry that may replace
+// cur. The server counter is node-monotonic, but an entry last written
+// through the cluster's replica-wide stamps holds a value far above it;
+// bumping past the old CAS keeps every entry's history monotonic, which
+// the client hot-key cache's newest-wins rule depends on.
+func (s *Server) mintCAS(cur *Entry) uint64 {
+	cas := s.nextCAS()
+	if cur != nil && cur.CAS >= cas {
+		cas = cur.CAS + 1
+	}
+	return cas
+}
+
+// EntryLive reports whether the entry is visible at the given instant:
+// not past its expiry, and not behind a due flush_all deadline.
+func (s *Server) EntryLive(e *Entry, now sim.Time) bool {
+	if e.Expired(now) {
+		return false
+	}
+	if s.flushAt != 0 && now >= s.flushAt && e.StoredAt < s.flushAt {
+		return false
+	}
+	return true
+}
+
+// getLive is the lazy-expiry lookup every read and mutation path goes
+// through: a dead entry is reclaimed on touch and reported absent, as
+// stock memcached does - nothing sweeps the store on a timer.
+func (s *Server) getLive(key string, now sim.Time) (*Entry, bool) {
+	e, ok := s.Store.Get(key)
+	if !ok {
+		return nil, false
+	}
+	if !s.EntryLive(e, now) {
+		s.Store.Delete(key)
+		s.ExpiredReclaimed++
+		return nil, false
+	}
+	return e, true
+}
+
+// maybeApplyFlush sweeps out entries behind a due flush_all deadline,
+// once, then clears it. Run from the request path so the store's
+// footprint shrinks promptly after the deadline passes; correctness
+// does not depend on it (EntryLive already hides flushed entries).
+func (s *Server) maybeApplyFlush(now sim.Time) {
+	if s.flushAt == 0 || now < s.flushAt {
+		return
+	}
+	cut := s.flushAt
+	s.flushAt = 0
+	s.Store.Scan(func(key string, e *Entry) bool {
+		if e.StoredAt < cut && s.Store.Delete(key) {
+			s.ExpiredReclaimed++
+		}
+		return true
+	})
 }
 
 // NewServer creates a server over the given store.
@@ -156,16 +227,32 @@ func (sc *serverConn) onTextData(c *event.Ctx, conn appnet.Conn, data []byte) {
 	}
 }
 
+// storeExpiry decodes the expiry a SET/ADD request carries: the stock
+// 8-byte extras hold {flags, exptime u32} resolved under the stock
+// relative/absolute rules, while the internal 12-byte dialect
+// (SetAbsExpiryExtrasLen) carries an absolute virtual expiry verbatim.
+func storeExpiry(hdr Header, body []byte, now sim.Time) sim.Time {
+	if int(hdr.ExtrasLen) >= SetAbsExpiryExtrasLen {
+		return sim.Time(int64(binary.BigEndian.Uint64(body[4:12])))
+	}
+	if hdr.ExtrasLen >= 8 {
+		return AbsoluteExpiry(int64(binary.BigEndian.Uint32(body[4:8])), now)
+	}
+	return 0
+}
+
 // handle executes one request, appending any response bytes to resp.
 func (s *Server) handle(c *event.Ctx, hdr Header, body []byte, resp []byte) []byte {
 	s.Requests++
 	c.Charge(s.RequestCPU + s.Store.OpCost(s.Cores))
+	now := c.Now()
+	s.maybeApplyFlush(now)
 	keyStart := int(hdr.ExtrasLen)
 	key := string(body[keyStart : keyStart+int(hdr.KeyLen)])
 
 	switch hdr.Opcode {
 	case OpGet, OpGetQ:
-		e, ok := s.Store.Get(key)
+		e, ok := s.getLive(key, now)
 		if !ok {
 			if hdr.Opcode == OpGetQ {
 				return resp // quiet get suppresses misses
@@ -173,7 +260,8 @@ func (s *Server) handle(c *event.Ctx, hdr Header, body []byte, resp []byte) []by
 			return appendResponse(resp, hdr, StatusKeyNotFound, nil, nil)
 		}
 		var extras [GetResponseExtrasLen]byte
-		binary.BigEndian.PutUint32(extras[:], e.Flags)
+		binary.BigEndian.PutUint32(extras[:4], e.Flags)
+		binary.BigEndian.PutUint64(extras[4:], uint64(int64(e.Expires)))
 		return appendResponseCAS(resp, hdr, StatusOK, extras[:], e.Value, e.CAS)
 
 	case OpSet, OpSetQ:
@@ -182,6 +270,7 @@ func (s *Server) handle(c *event.Ctx, hdr Header, body []byte, resp []byte) []by
 			flags = binary.BigEndian.Uint32(body)
 		}
 		value := append([]byte(nil), body[keyStart+int(hdr.KeyLen):]...)
+		expires := storeExpiry(hdr, body, now)
 		if hdr.CAS != 0 {
 			// Replica-stamped store: the coordinator (the cluster client)
 			// assigned this write's version stamp once, and every replica
@@ -189,20 +278,25 @@ func (s *Server) handle(c *event.Ctx, hdr Header, body []byte, resp []byte) []by
 			// is what made R>1 stamps incomparable. Apply last-writer-wins
 			// by stamp so replicas converge on the same {value, stamp}
 			// regardless of delivery order; echo the winning stamp so the
-			// coordinator can detect that its write was superseded.
+			// coordinator can detect that its write was superseded. An
+			// expired loser does not block the stamp comparison: the dead
+			// entry's stamp still orders writes.
 			win := hdr.CAS
 			if cur, ok := s.Store.Get(key); ok && cur.CAS >= hdr.CAS {
 				win = cur.CAS
-			} else {
-				s.Store.Set(key, &Entry{Value: value, Flags: flags, CAS: hdr.CAS})
+			} else if !s.Store.Set(key, &Entry{Value: value, Flags: flags, CAS: hdr.CAS, Expires: expires, StoredAt: now}) {
+				return appendResponse(resp, hdr, StatusOutOfMemory, nil, nil)
 			}
 			if hdr.Opcode == OpSetQ {
 				return resp
 			}
 			return appendResponseCAS(resp, hdr, StatusOK, nil, nil, win)
 		}
-		cas := s.nextCAS()
-		s.Store.Set(key, &Entry{Value: value, Flags: flags, CAS: cas})
+		cur, _ := s.Store.Get(key)
+		cas := s.mintCAS(cur)
+		if !s.Store.Set(key, &Entry{Value: value, Flags: flags, CAS: cas, Expires: expires, StoredAt: now}) {
+			return appendResponse(resp, hdr, StatusOutOfMemory, nil, nil)
+		}
 		if hdr.Opcode == OpSetQ {
 			return resp
 		}
@@ -216,13 +310,20 @@ func (s *Server) handle(c *event.Ctx, hdr Header, body []byte, resp []byte) []by
 			flags = binary.BigEndian.Uint32(body)
 		}
 		value := append([]byte(nil), body[keyStart+int(hdr.KeyLen):]...)
+		expires := storeExpiry(hdr, body, now)
 		// A stamped ADD (migration stream, nonzero request CAS) preserves
-		// the sender's version stamp; a plain ADD mints a local one.
+		// the sender's version stamp; a plain ADD mints a local one. An
+		// expired occupant does not defeat an ADD: it is reclaimed first,
+		// as in stock memcached.
+		if e, ok := s.Store.Get(key); ok && !s.EntryLive(e, now) {
+			s.Store.Delete(key)
+			s.ExpiredReclaimed++
+		}
 		cas := hdr.CAS
 		if cas == 0 {
 			cas = s.nextCAS()
 		}
-		if !s.Store.Add(key, &Entry{Value: value, Flags: flags, CAS: cas}) {
+		if !s.Store.Add(key, &Entry{Value: value, Flags: flags, CAS: cas, Expires: expires, StoredAt: now}) {
 			// Losing the race to an existing entry is an error response
 			// even for the quiet opcode, as in stock memcached; quiet
 			// suppresses only successes.
@@ -233,8 +334,56 @@ func (s *Server) handle(c *event.Ctx, hdr Header, body []byte, resp []byte) []by
 		}
 		return appendResponseCAS(resp, hdr, StatusOK, nil, nil, cas)
 
+	case OpAppend, OpPrepend:
+		value := body[keyStart+int(hdr.KeyLen):]
+		e, cas, ok := s.applyConcat(key, value, hdr.Opcode == OpAppend, now)
+		if !ok {
+			// Stock memcached answers NOT_STORED when there is nothing to
+			// concatenate onto.
+			return appendResponse(resp, hdr, StatusNotStored, nil, nil)
+		}
+		if e == nil {
+			return appendResponse(resp, hdr, StatusOutOfMemory, nil, nil)
+		}
+		return appendResponseCAS(resp, hdr, StatusOK, nil, nil, cas)
+
+	case OpIncrement, OpDecrement:
+		if hdr.ExtrasLen < CounterExtrasLen {
+			return appendResponse(resp, hdr, StatusUnknownCmd, nil, nil)
+		}
+		delta := binary.BigEndian.Uint64(body[:8])
+		initial := binary.BigEndian.Uint64(body[8:16])
+		exptime := binary.BigEndian.Uint32(body[16:20])
+		newVal, cas, status := s.applyDelta(key, delta, initial, exptime, hdr.Opcode == OpIncrement, now)
+		if status != StatusOK {
+			return appendResponse(resp, hdr, uint16(status), nil, nil)
+		}
+		var out [8]byte
+		binary.BigEndian.PutUint64(out[:], newVal)
+		return appendResponseCAS(resp, hdr, StatusOK, nil, out[:], cas)
+
+	case OpTouch:
+		if hdr.ExtrasLen < 4 {
+			return appendResponse(resp, hdr, StatusUnknownCmd, nil, nil)
+		}
+		exptime := int64(binary.BigEndian.Uint32(body[:4]))
+		if !s.applyTouch(key, AbsoluteExpiry(exptime, now), now) {
+			return appendResponse(resp, hdr, StatusKeyNotFound, nil, nil)
+		}
+		return appendResponse(resp, hdr, StatusOK, nil, nil)
+
+	case OpFlush:
+		var delay int64
+		if hdr.ExtrasLen >= 4 {
+			delay = int64(binary.BigEndian.Uint32(body[:4]))
+		}
+		s.applyFlushAll(delay, now)
+		return appendResponse(resp, hdr, StatusOK, nil, nil)
+
 	case OpDelete:
-		if s.Store.Delete(key) {
+		// A dead entry must answer NOT_FOUND, exactly as if it had
+		// already been reclaimed.
+		if _, ok := s.getLive(key, now); ok && s.Store.Delete(key) {
 			return appendResponse(resp, hdr, StatusOK, nil, nil)
 		}
 		return appendResponse(resp, hdr, StatusKeyNotFound, nil, nil)
@@ -245,6 +394,115 @@ func (s *Server) handle(c *event.Ctx, hdr Header, body []byte, resp []byte) []by
 	default:
 		return appendResponse(resp, hdr, StatusUnknownCmd, nil, nil)
 	}
+}
+
+// applyConcat implements append/prepend, shared by both protocols.
+// ok=false means there was no live entry to concatenate onto
+// (NOT_STORED); ok=true with e==nil means the bounded store could not
+// fit the grown value. Concatenation keeps the entry's flags and expiry
+// (stock memcached ignores the ones on the request line) but mints a
+// fresh CAS: the value changed, and the hot-key cache's newest-wins rule
+// needs to see that.
+func (s *Server) applyConcat(key string, value []byte, atEnd bool, now sim.Time) (e *Entry, cas uint64, ok bool) {
+	cur, ok := s.getLive(key, now)
+	if !ok {
+		return nil, 0, false
+	}
+	grown := make([]byte, 0, len(cur.Value)+len(value))
+	if atEnd {
+		grown = append(append(grown, cur.Value...), value...)
+	} else {
+		grown = append(append(grown, value...), cur.Value...)
+	}
+	cas = s.mintCAS(cur)
+	ne := &Entry{Value: grown, Flags: cur.Flags, CAS: cas, Expires: cur.Expires, StoredAt: now}
+	if !s.Store.Set(key, ne) {
+		return nil, 0, true
+	}
+	return ne, cas, true
+}
+
+// Counter statuses applyDelta reports (a subset of the binary response
+// statuses; the text layer maps them onto its CLIENT_ERROR lines).
+//
+// applyDelta implements incr/decr, shared by both protocols. The stored
+// value must be an ASCII decimal uint64 - anything else (including a
+// value with leading/trailing junk) is StatusDeltaBadval. incr wraps at
+// 2^64, decr clamps at 0, both as stock memcached does. On a miss the
+// binary protocol may seed the counter with initial (exptime !=
+// CounterNoCreate); the text protocol always passes CounterNoCreate so
+// a miss is NOT_FOUND.
+func (s *Server) applyDelta(key string, delta, initial uint64, exptime uint32, incr bool, now sim.Time) (newVal, cas uint64, status int) {
+	cur, ok := s.getLive(key, now)
+	if !ok {
+		if exptime == CounterNoCreate {
+			return 0, 0, StatusKeyNotFound
+		}
+		cas = s.nextCAS()
+		e := &Entry{Value: []byte(strconv.FormatUint(initial, 10)), CAS: cas,
+			Expires: AbsoluteExpiry(int64(exptime), now), StoredAt: now}
+		if !s.Store.Set(key, e) {
+			return 0, 0, StatusOutOfMemory
+		}
+		return initial, cas, StatusOK
+	}
+	v, err := parseCounterValue(cur.Value)
+	if err != nil {
+		return 0, 0, StatusDeltaBadval
+	}
+	if incr {
+		v += delta // wraps at 2^64
+	} else if v < delta {
+		v = 0 // decr clamps at zero
+	} else {
+		v -= delta
+	}
+	cas = s.mintCAS(cur)
+	e := &Entry{Value: []byte(strconv.FormatUint(v, 10)), Flags: cur.Flags, CAS: cas,
+		Expires: cur.Expires, StoredAt: now}
+	if !s.Store.Set(key, e) {
+		return 0, 0, StatusOutOfMemory
+	}
+	return v, cas, StatusOK
+}
+
+// parseCounterValue parses a stored value as the decimal uint64 the
+// counter commands operate on.
+func parseCounterValue(v []byte) (uint64, error) {
+	if len(v) == 0 || len(v) > 20 {
+		return 0, strconv.ErrSyntax
+	}
+	return strconv.ParseUint(string(v), 10, 64)
+}
+
+// applyTouch updates a live entry's expiry in place without changing
+// its value or CAS (stock touch does not bump CAS).
+func (s *Server) applyTouch(key string, expires sim.Time, now sim.Time) bool {
+	cur, ok := s.getLive(key, now)
+	if !ok {
+		return false
+	}
+	s.Store.Set(key, &Entry{Value: cur.Value, Flags: cur.Flags, CAS: cur.CAS,
+		Expires: expires, StoredAt: cur.StoredAt})
+	return true
+}
+
+// applyFlushAll arms the flush deadline: delay 0 kills everything
+// stored up to now immediately, delay > 0 schedules the cut delay
+// seconds out (stock flush_all's oldest_live). A later flush_all
+// supersedes a pending one.
+func (s *Server) applyFlushAll(delay int64, now sim.Time) {
+	if delay < 0 {
+		delay = 0
+	}
+	if delay == 0 {
+		// "Everything stored up to and including now" - entries stored at
+		// exactly this instant die too, so the cut sits just past it.
+		s.flushAt = now + 1
+		s.maybeApplyFlush(now + 1)
+		return
+	}
+	s.flushAt = now + sim.Time(delay)*sim.Second
 }
 
 // appendResponse serializes a response packet onto resp.

@@ -21,6 +21,15 @@ type Entry struct {
 	// stamp. Coordinator stamps live above any server-minted value, so
 	// the two spaces never conflict on a mixed-history entry.
 	CAS uint64
+	// Expires is the absolute virtual time the entry dies at: 0 means
+	// never, ExpiredImmediately means it was stored already dead, and
+	// anything else is compared lazily against the clock on every lookup
+	// (expiry.go has the wire-exptime resolution rules).
+	Expires sim.Time
+	// StoredAt is when the entry was written, the timestamp flush_all's
+	// oldest-live rule compares against: a flush at time T kills every
+	// entry stored before T once T arrives.
+	StoredAt sim.Time
 }
 
 // Store abstracts the key-value backing so the harness can compare the RCU
@@ -28,7 +37,10 @@ type Entry struct {
 // memcached's poor multicore scaling to lock contention, §4.2).
 type Store interface {
 	Get(key string) (*Entry, bool)
-	Set(key string, e *Entry)
+	// Set stores the entry, reporting whether it was stored: the
+	// unbounded stores always succeed, the bounded store reports false
+	// when the entry cannot fit its memory budget even after eviction.
+	Set(key string, e *Entry) bool
 	// Add stores the entry only if the key is absent, reporting whether it
 	// was stored. The migration stream applies transferred entries with Add
 	// so a fresher value dual-written during handoff is never clobbered by
@@ -69,7 +81,7 @@ func (s *RCUStore) Name() string { return "rcu" }
 func (s *RCUStore) Get(key string) (*Entry, bool) { return s.t.Get(key) }
 
 // Set implements Store.
-func (s *RCUStore) Set(key string, e *Entry) { s.t.Put(key, e) }
+func (s *RCUStore) Set(key string, e *Entry) bool { s.t.Put(key, e); return true }
 
 // Add implements Store.
 func (s *RCUStore) Add(key string, e *Entry) bool { return s.t.PutIfAbsent(key, e) }
@@ -142,10 +154,11 @@ func (s *LockedStore) Get(key string) (*Entry, bool) {
 }
 
 // Set implements Store.
-func (s *LockedStore) Set(key string, e *Entry) {
+func (s *LockedStore) Set(key string, e *Entry) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.m[key] = e
+	return true
 }
 
 // Add implements Store.

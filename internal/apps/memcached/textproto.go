@@ -44,11 +44,16 @@ const (
 	respNotStored    = "NOT_STORED\r\n"
 	respDeleted      = "DELETED\r\n"
 	respNotFound     = "NOT_FOUND\r\n"
+	respTouched      = "TOUCHED\r\n"
+	respOK           = "OK\r\n"
 	respEnd          = "END\r\n"
 	respError        = "ERROR\r\n"
 	respBadLine      = "CLIENT_ERROR bad command line format\r\n"
 	respBadDataChunk = "CLIENT_ERROR bad data chunk\r\n"
 	respTooLarge     = "SERVER_ERROR object too large for cache\r\n"
+	respOOM          = "SERVER_ERROR out of memory storing object\r\n"
+	respNonNumeric   = "CLIENT_ERROR cannot increment or decrement non-numeric value\r\n"
+	respBadDelta     = "CLIENT_ERROR invalid numeric delta argument\r\n"
 )
 
 // maxTextSwallow bounds the resync swallow after a refused storage
@@ -89,10 +94,11 @@ type textSession struct {
 	swallow int // bytes left to discard in textSwallowData
 
 	// Pending storage command, valid in textData.
-	cmd     byte // 's'et, 'a'dd, 'r'eplace
+	cmd     byte // 's'et, 'a'dd, 'r'eplace, '+' append, '-' prepend
 	key     string
 	flags   uint32
-	need    int // announced data block length
+	exptime int64 // wire exptime, resolved when the data block completes
+	need    int   // announced data block length
 	noreply bool
 }
 
@@ -149,12 +155,30 @@ func (s *Server) handleText(c *event.Ctx, ts *textSession, data []byte) (resp []
 				resp = ts.reply(resp, respBadDataChunk)
 				continue
 			}
-			e := &Entry{Value: append([]byte(nil), block...), Flags: ts.flags, CAS: s.nextCAS()}
+			now := c.Now()
+			s.maybeApplyFlush(now)
+			value := append([]byte(nil), block...)
+			// Here is where the command line's exptime finally lands on
+			// the entry - resolved against the completion instant, which
+			// is when stock memcached stamps it too.
+			expires := AbsoluteExpiry(ts.exptime, now)
 			switch ts.cmd {
 			case 's':
-				s.Store.Set(ts.key, e)
-				resp = ts.reply(resp, respStored)
+				cur, _ := s.Store.Get(ts.key)
+				e := &Entry{Value: value, Flags: ts.flags, CAS: s.mintCAS(cur), Expires: expires, StoredAt: now}
+				if s.Store.Set(ts.key, e) {
+					resp = ts.reply(resp, respStored)
+				} else {
+					resp = ts.reply(resp, respOOM)
+				}
 			case 'a':
+				// An expired occupant does not defeat an add; reclaim it
+				// first, as the binary path does.
+				if cur, ok := s.Store.Get(ts.key); ok && !s.EntryLive(cur, now) {
+					s.Store.Delete(ts.key)
+					s.ExpiredReclaimed++
+				}
+				e := &Entry{Value: value, Flags: ts.flags, CAS: s.nextCAS(), Expires: expires, StoredAt: now}
 				if s.Store.Add(ts.key, e) {
 					resp = ts.reply(resp, respStored)
 				} else {
@@ -164,11 +188,27 @@ func (s *Server) handleText(c *event.Ctx, ts *textSession, data []byte) (resp []
 				// Store-only-if-present. The get/set pair is atomic here:
 				// the simulation kernel runs one event at a time, so no
 				// other request interleaves between the check and the set.
-				if _, ok := s.Store.Get(ts.key); ok {
-					s.Store.Set(ts.key, e)
-					resp = ts.reply(resp, respStored)
+				if cur, ok := s.getLive(ts.key, now); ok {
+					e := &Entry{Value: value, Flags: ts.flags, CAS: s.mintCAS(cur), Expires: expires, StoredAt: now}
+					if s.Store.Set(ts.key, e) {
+						resp = ts.reply(resp, respStored)
+					} else {
+						resp = ts.reply(resp, respOOM)
+					}
 				} else {
 					resp = ts.reply(resp, respNotStored)
+				}
+			case '+', '-':
+				// append/prepend ignore the line's flags and exptime and
+				// keep the entry's own, per stock memcached.
+				e, _, ok := s.applyConcat(ts.key, value, ts.cmd == '+', now)
+				switch {
+				case !ok:
+					resp = ts.reply(resp, respNotStored)
+				case e == nil:
+					resp = ts.reply(resp, respOOM)
+				default:
+					resp = ts.reply(resp, respStored)
 				}
 			}
 
@@ -212,6 +252,8 @@ func (s *Server) execTextLine(c *event.Ctx, ts *textSession, line []byte, resp [
 	if len(toks) == 0 {
 		return append(resp, respError...), false
 	}
+	now := c.Now()
+	s.maybeApplyFlush(now)
 	switch {
 	case tokIs(toks[0], "get"), tokIs(toks[0], "gets"):
 		s.Requests++
@@ -227,15 +269,83 @@ func (s *Server) execTextLine(c *event.Ctx, ts *textSession, line []byte, resp [
 		withCAS := tokIs(toks[0], "gets")
 		for _, kt := range toks[1:] {
 			c.Charge(s.Store.OpCost(s.Cores))
-			if e, ok := s.Store.Get(string(kt)); ok {
+			if e, ok := s.getLive(string(kt), now); ok {
 				resp = appendTextValue(resp, kt, e, withCAS)
 			}
 		}
 		return append(resp, respEnd...), false
 
-	case tokIs(toks[0], "set"), tokIs(toks[0], "add"), tokIs(toks[0], "replace"):
+	case tokIs(toks[0], "set"), tokIs(toks[0], "add"), tokIs(toks[0], "replace"),
+		tokIs(toks[0], "append"), tokIs(toks[0], "prepend"):
 		c.Charge(sim.Time(len(line)) * textParsePerByte)
 		return s.parseTextStorage(ts, toks, resp), false
+
+	case tokIs(toks[0], "incr"), tokIs(toks[0], "decr"):
+		// incr <key> <delta> [noreply]
+		s.Requests++
+		c.Charge(s.RequestCPU + sim.Time(len(line))*textParsePerByte + s.Store.OpCost(s.Cores))
+		ts.noreply = len(toks) == 4 && tokIs(toks[3], "noreply")
+		if len(toks) < 3 || len(toks) > 4 || (len(toks) == 4 && !ts.noreply) || len(toks[1]) > MaxTextKey {
+			return ts.reply(resp, respBadLine), false
+		}
+		delta, err := strconv.ParseUint(string(toks[2]), 10, 64)
+		if err != nil {
+			return ts.reply(resp, respBadDelta), false
+		}
+		// CounterNoCreate: the text protocol never seeds a missing key.
+		newVal, _, status := s.applyDelta(string(toks[1]), delta, 0, CounterNoCreate, tokIs(toks[0], "incr"), now)
+		switch status {
+		case StatusKeyNotFound:
+			return ts.reply(resp, respNotFound), false
+		case StatusDeltaBadval:
+			return ts.reply(resp, respNonNumeric), false
+		case StatusOutOfMemory:
+			return ts.reply(resp, respOOM), false
+		}
+		if ts.noreply {
+			return resp, false
+		}
+		resp = strconv.AppendUint(resp, newVal, 10)
+		return append(resp, '\r', '\n'), false
+
+	case tokIs(toks[0], "touch"):
+		// touch <key> <exptime> [noreply]
+		s.Requests++
+		c.Charge(s.RequestCPU + sim.Time(len(line))*textParsePerByte + s.Store.OpCost(s.Cores))
+		ts.noreply = len(toks) == 4 && tokIs(toks[3], "noreply")
+		if len(toks) < 3 || len(toks) > 4 || (len(toks) == 4 && !ts.noreply) || len(toks[1]) > MaxTextKey {
+			return ts.reply(resp, respBadLine), false
+		}
+		exptime, err := strconv.ParseInt(string(toks[2]), 10, 64)
+		if err != nil {
+			return ts.reply(resp, respBadLine), false
+		}
+		if !s.applyTouch(string(toks[1]), AbsoluteExpiry(exptime, now), now) {
+			return ts.reply(resp, respNotFound), false
+		}
+		return ts.reply(resp, respTouched), false
+
+	case tokIs(toks[0], "flush_all"):
+		// flush_all [delay] [noreply]
+		s.Requests++
+		c.Charge(s.RequestCPU + sim.Time(len(line))*textParsePerByte)
+		args := toks[1:]
+		ts.noreply = len(args) > 0 && tokIs(args[len(args)-1], "noreply")
+		if ts.noreply {
+			args = args[:len(args)-1]
+		}
+		var delay int64
+		if len(args) > 1 {
+			return ts.reply(resp, respBadLine), false
+		}
+		if len(args) == 1 {
+			var err error
+			if delay, err = strconv.ParseInt(string(args[0]), 10, 64); err != nil {
+				return ts.reply(resp, respBadLine), false
+			}
+		}
+		s.applyFlushAll(delay, now)
+		return ts.reply(resp, respOK), false
 
 	case tokIs(toks[0], "delete"):
 		s.Requests++
@@ -244,7 +354,9 @@ func (s *Server) execTextLine(c *event.Ctx, ts *textSession, line []byte, resp [
 		if len(toks) < 2 || len(toks) > 3 || (len(toks) == 3 && !noreply) || len(toks[1]) > MaxTextKey {
 			return append(resp, respBadLine...), false
 		}
-		ok := s.Store.Delete(string(toks[1]))
+		// A dead entry answers NOT_FOUND, exactly as if already reclaimed.
+		_, live := s.getLive(string(toks[1]), now)
+		ok := live && s.Store.Delete(string(toks[1]))
 		if noreply {
 			return resp, false
 		}
@@ -268,12 +380,33 @@ func (s *Server) execTextLine(c *event.Ctx, ts *textSession, line []byte, resp [
 	}
 }
 
-// parseTextStorage validates a `set`/`add`/`replace` command line and
-// arms the data-block state. A malformed line whose <bytes> argument
-// still parses swallows the announced block so the stream resynchronizes
-// at the next command line; if <bytes> itself is unreadable there is
-// nothing to skip and the block's bytes will surface as (failing)
-// command lines - the same recovery stock memcached performs.
+// storageCmdCode maps a storage command name onto the one-byte code the
+// data-block state dispatches on ('+'/'-' for append/prepend, since
+// "append" and "add" share a first letter). Zero means not a storage
+// command.
+func storageCmdCode(tok []byte) byte {
+	switch {
+	case tokIs(tok, "set"):
+		return 's'
+	case tokIs(tok, "add"):
+		return 'a'
+	case tokIs(tok, "replace"):
+		return 'r'
+	case tokIs(tok, "append"):
+		return '+'
+	case tokIs(tok, "prepend"):
+		return '-'
+	}
+	return 0
+}
+
+// parseTextStorage validates a `set`/`add`/`replace`/`append`/`prepend`
+// command line and arms the data-block state. A malformed line whose
+// <bytes> argument still parses swallows the announced block so the
+// stream resynchronizes at the next command line; if <bytes> itself is
+// unreadable there is nothing to skip and the block's bytes will
+// surface as (failing) command lines - the same recovery stock
+// memcached performs.
 func (s *Server) parseTextStorage(ts *textSession, toks [][]byte, resp []byte) []byte {
 	// <cmd> <key> <flags> <exptime> <bytes> [noreply]
 	ts.noreply = false
@@ -288,7 +421,7 @@ func (s *Server) parseTextStorage(ts *textSession, toks [][]byte, resp []byte) [
 	}
 	need, needErr := strconv.Atoi(string(toks[4]))
 	flags, flagsErr := strconv.ParseUint(string(toks[2]), 10, 32)
-	_, expErr := strconv.ParseInt(string(toks[3]), 10, 64)
+	exptime, expErr := strconv.ParseInt(string(toks[3]), 10, 64)
 	if needErr != nil || need < 0 || flagsErr != nil || expErr != nil || len(toks[1]) > MaxTextKey {
 		bad = true
 	}
@@ -306,9 +439,10 @@ func (s *Server) parseTextStorage(ts *textSession, toks [][]byte, resp []byte) [
 		}
 		return ts.reply(resp, respTooLarge)
 	}
-	ts.cmd = toks[0][0] // 's', 'a' or 'r' - distinct first letters
+	ts.cmd = storageCmdCode(toks[0])
 	ts.key = string(toks[1])
 	ts.flags = uint32(flags)
+	ts.exptime = exptime
 	ts.need = need
 	ts.state = textData
 	return resp
@@ -321,8 +455,7 @@ func (s *Server) parseTextStorage(ts *textSession, toks [][]byte, resp []byte) [
 // not misread as command lines.
 func (ts *textSession) rejectLongLine(line []byte, resp []byte) []byte {
 	toks := splitTextTokens(line)
-	if len(toks) >= 5 &&
-		(tokIs(toks[0], "set") || tokIs(toks[0], "add") || tokIs(toks[0], "replace")) {
+	if len(toks) >= 5 && storageCmdCode(toks[0]) != 0 {
 		if need, err := strconv.Atoi(string(toks[4])); err == nil && need >= 0 && need <= maxTextSwallow {
 			ts.state = textSwallowData
 			ts.swallow = need + 2

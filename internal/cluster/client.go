@@ -30,6 +30,10 @@ type Response struct {
 	// value on stores). The hot-key cache uses it as the coherence
 	// version for cached values.
 	CAS uint64
+	// ExpiresAt is the entry's absolute expiry carried in GET response
+	// extras (0 = never expires). The hot-key cache stores it so a
+	// cached value dies at the origin's deadline, not its own TTL.
+	ExpiresAt sim.Time
 }
 
 // OK reports protocol success.
@@ -233,7 +237,7 @@ func (cli *Client) Get(c *event.Ctx, key []byte, cb Callback) {
 			inner := cb
 			cb = func(c *event.Ctx, r Response) {
 				if r.OK() && !cli.handoffCoversKey(keyCopy) && cli.tombGen == gen {
-					hk.cache.put(string(keyCopy), h, append([]byte(nil), r.Value...), r.Flags, r.CAS, c.Now())
+					hk.cache.put(string(keyCopy), h, append([]byte(nil), r.Value...), r.Flags, r.CAS, r.ExpiresAt, c.Now())
 				}
 				if inner != nil {
 					inner(c, r)
@@ -361,7 +365,9 @@ func (cli *Client) probeStaleness(c *event.Ctx, hk *hotKeyRep, key []byte, e *ca
 			if !cli.cl.Live(bi) || !b.Node.Alive() {
 				continue
 			}
-			if cur, ok := b.Srv.Store.Get(string(sk)); ok {
+			// An entry past its expiry (or behind a due flush) is not a
+			// durable version: a hit matching only a dead copy is stale.
+			if cur, ok := b.Srv.Store.Get(string(sk)); ok && b.Srv.EntryLive(cur, c.Now()) {
 				found = true
 				if cur.CAS > newest {
 					newest = cur.CAS
@@ -414,6 +420,7 @@ func (cli *Client) maybeRevalidate(c *event.Ctx, hk *hotKeyRep, key []byte) {
 			cur.value = append([]byte(nil), r.Value...)
 			cur.flags = r.Flags
 			cur.cas = r.CAS
+			cur.expiresAt = r.ExpiresAt
 			cur.storedAt = c.Now()
 		case r.OK() && r.CAS == cur.cas:
 			cur.storedAt = c.Now() // confirmed fresh: restart the TTL clock
@@ -480,7 +487,7 @@ func (cli *Client) invalidateHot(c *event.Ctx, key []byte, tombstone bool) {
 // mid-migration or the client issued a delete tombstone after the write
 // - gen is sampled at submit, so a Delete from ANY core during the
 // write's flight suppresses resurrection everywhere.
-func (cli *Client) restampHot(c *event.Ctx, key, value []byte, flags uint32, cas uint64, gen uint64) {
+func (cli *Client) restampHot(c *event.Ctx, key, value []byte, flags uint32, cas uint64, expiresAt sim.Time, gen uint64) {
 	h := ringHash(key)
 	cli.forEachHotRep(c, key, func(c *event.Ctx, hk *hotKeyRep, kb []byte) {
 		if cli.tombGen != gen || cli.handoffCoversKey(kb) {
@@ -489,7 +496,7 @@ func (cli *Client) restampHot(c *event.Ctx, key, value []byte, flags uint32, cas
 		if hk.sketch.estimate(h) < hk.opt.PromoteMin {
 			return
 		}
-		hk.cache.put(string(kb), h, value, flags, cas, c.Now())
+		hk.cache.put(string(kb), h, value, flags, cas, expiresAt, c.Now())
 	})
 }
 
@@ -554,7 +561,10 @@ func (cli *Client) readRepair(c *event.Ctx, key []byte, missed []int, r Response
 	value := append([]byte(nil), r.Value...)
 	for _, backend := range missed {
 		cli.rep(c).submit(c, backend, func(opaque uint32) []byte {
-			return memcached.BuildSetStamped(key, value, r.Flags, opaque, r.CAS)
+			// The repair carries the serving replica's absolute expiry
+			// verbatim: re-encoding as whole relative seconds would shift
+			// the repaired copy's deadline away from the survivors'.
+			return memcached.BuildSetAbsExpiry(key, value, r.Flags, opaque, r.CAS, int64(r.ExpiresAt))
 		}, nil)
 	}
 }
@@ -568,6 +578,17 @@ func (cli *Client) readRepair(c *event.Ctx, key []byte, missed []int, r Response
 // is counted over the new owners, so an acked write is guaranteed to
 // survive the range's cutover.
 func (cli *Client) Set(c *event.Ctx, key, value []byte, flags uint32, cb Callback) {
+	cli.SetWithExpiry(c, key, value, flags, 0, cb)
+}
+
+// SetWithExpiry is Set carrying a wire exptime (the stock rules: 0 =
+// never, <= 30 days relative, > 30 days absolute unix time, negative =
+// immediately expired). The coordinator resolves the exptime to an
+// absolute virtual deadline ONCE, here, and every replica stores that
+// exact instant - resolving per-replica would skew the deadline by each
+// request's network delay, and replicas of one write must die together.
+func (cli *Client) SetWithExpiry(c *event.Ctx, key, value []byte, flags uint32, exptime int64, cb Callback) {
+	expires := memcached.AbsoluteExpiry(exptime, c.Now())
 	// The write's version stamp is assigned HERE, once, by the
 	// coordinator: every replica stores and echoes this exact stamp, so
 	// any replica's answer to a later read carries a comparable version.
@@ -610,7 +631,7 @@ func (cli *Client) Set(c *event.Ctx, key, value []byte, flags uint32, cb Callbac
 			// stamp - would pin a stale value at the newer version number,
 			// which revalidation could then never catch.
 			if r.OK() && r.CAS == stamp {
-				cli.restampHot(c, key, valCopy, flags, stamp, gen)
+				cli.restampHot(c, key, valCopy, flags, stamp, expires, gen)
 			}
 			if inner != nil {
 				inner(c, r)
@@ -618,7 +639,7 @@ func (cli *Client) Set(c *event.Ctx, key, value []byte, flags uint32, cb Callbac
 		}
 	}
 	cli.quorumWrite(c, skey, cb, func(opaque uint32) []byte {
-		return memcached.BuildSetStamped(skey, value, flags, opaque, stamp)
+		return memcached.BuildSetAbsExpiry(skey, value, flags, opaque, stamp, int64(expires))
 	}, func(r Response) bool { return r.OK() })
 }
 
@@ -984,8 +1005,11 @@ func (cc *clientConn) onData(c *event.Ctx, payload *iobuf.IOBuf) {
 			continue
 		}
 		resp := Response{Status: hdr.Status, CAS: hdr.CAS}
-		if int(hdr.ExtrasLen) >= memcached.GetResponseExtrasLen {
+		if hdr.ExtrasLen >= 4 {
 			resp.Flags = binary.BigEndian.Uint32(body)
+		}
+		if int(hdr.ExtrasLen) >= memcached.GetResponseExtrasLen {
+			resp.ExpiresAt = sim.Time(int64(binary.BigEndian.Uint64(body[4:12])))
 		}
 		if len(body) > int(hdr.ExtrasLen) {
 			resp.Value = append([]byte(nil), body[hdr.ExtrasLen:]...)

@@ -41,6 +41,10 @@ type Options struct {
 	// uses it to compare the adaptive-RTO transport against the
 	// fixed-RTO baseline on identical deployments.
 	Net netstack.Config
+	// Store builds each backend's store (nil: the unbounded RCU table).
+	// The MemoryPressure experiment supplies memcached.NewBoundedStore
+	// here to run every shard under a byte budget.
+	Store func() memcached.Store
 }
 
 // Cluster is a sharded memcached deployment: the hosted frontend plus N
@@ -65,6 +69,10 @@ type Cluster struct {
 	// version stamps every client write carries. One counter for the
 	// deployment keeps stamps totally ordered across clients and cores.
 	stampSeq uint64
+
+	// newStore builds each backend's store (Options.Store; nil means the
+	// unbounded RCU table).
+	newStore func() memcached.Store
 
 	// writeSketch and salted implement hot-write spreading: the sketch
 	// counts writes per key cluster-wide; a key crossing
@@ -138,6 +146,7 @@ func NewCluster(backends int, opt Options) *Cluster {
 		Replicas: opt.Replicas,
 		HotKey:   opt.HotKey,
 		HotWrite: opt.HotWrite,
+		newStore: opt.Store,
 	}
 	if cl.HotWrite.Enable {
 		cl.HotWrite = cl.HotWrite.WithDefaults()
@@ -158,7 +167,13 @@ func NewCluster(backends int, opt Options) *Cluster {
 // the streamed alternative that keeps the cache warm through the join.
 func (cl *Cluster) AddBackend(cores int) *Backend {
 	node := cl.Sys.AddNativeNode(cores)
-	srv := memcached.NewServer(memcached.NewRCUStore(), cores)
+	var store memcached.Store
+	if cl.newStore != nil {
+		store = cl.newStore()
+	} else {
+		store = memcached.NewRCUStore()
+	}
+	srv := memcached.NewServer(store, cores)
 	if err := srv.Serve(node.Runtime); err != nil {
 		panic(err)
 	}
@@ -534,7 +549,9 @@ func (cl *Cluster) LiveHolders(key []byte) int {
 		if !cl.Live(i) || !b.Node.Alive() {
 			continue
 		}
-		if _, ok := b.Srv.Store.Get(string(key)); ok {
+		// A dead copy (expired, or behind a due flush) does not hold the
+		// key: no request path would serve it.
+		if e, ok := b.Srv.Store.Get(string(key)); ok && b.Srv.EntryLive(e, cl.Sys.K.Now()) {
 			n++
 		}
 	}

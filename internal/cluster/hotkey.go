@@ -130,6 +130,10 @@ type HotKeyStats struct {
 	Revalidations, Refreshes uint64
 	// Expired counts lookups that found an entry past its TTL.
 	Expired uint64
+	// OriginExpired counts lookups that found an entry past the origin
+	// server's expiry deadline (carried in GET response extras) - dropped
+	// even though the cache's own TTL had not run out.
+	OriginExpired uint64
 	// HandoffBypass counts reads that skipped the cache because their
 	// key's range was mid-migration.
 	HandoffBypass uint64
@@ -151,6 +155,7 @@ func (s *HotKeyStats) accumulate(o HotKeyStats) {
 	s.Revalidations += o.Revalidations
 	s.Refreshes += o.Refreshes
 	s.Expired += o.Expired
+	s.OriginExpired += o.OriginExpired
 	s.HandoffBypass += o.HandoffBypass
 	s.StaleServes += o.StaleServes
 	if o.MaxStaleAge > s.MaxStaleAge {
@@ -226,8 +231,12 @@ type cacheEntry struct {
 	flags    uint32
 	cas      uint64 // the owner's Entry.CAS stamp at fill time
 	storedAt sim.Time
-	prev     *cacheEntry
-	next     *cacheEntry
+	// expiresAt is the origin entry's absolute expiry (0 = never),
+	// carried in the GET response extras. A cached copy must die at the
+	// origin's deadline even when the cache's own TTL has time left.
+	expiresAt sim.Time
+	prev      *cacheEntry
+	next      *cacheEntry
 }
 
 // hotCache is the per-core, size-bounded LRU. It is representative
@@ -261,6 +270,11 @@ func (hc *hotCache) get(key []byte, now sim.Time) (*cacheEntry, bool) {
 		hc.remove(e)
 		return nil, false
 	}
+	if e.expiresAt != 0 && e.expiresAt <= now {
+		hc.stats.OriginExpired++
+		hc.remove(e)
+		return nil, false
+	}
 	hc.bump(e)
 	return e, true
 }
@@ -270,7 +284,7 @@ func (hc *hotCache) get(key []byte, now sim.Time) (*cacheEntry, bool) {
 // carrying an older stamp than the cached one is a reordered delivery
 // (a read response overtaken by a write-path re-stamp) and is dropped
 // rather than letting it roll the entry back.
-func (hc *hotCache) put(key string, hash uint64, value []byte, flags uint32, cas uint64, now sim.Time) {
+func (hc *hotCache) put(key string, hash uint64, value []byte, flags uint32, cas uint64, expiresAt, now sim.Time) {
 	if e, ok := hc.m[key]; ok {
 		if cas < e.cas {
 			return
@@ -279,10 +293,12 @@ func (hc *hotCache) put(key string, hash uint64, value []byte, flags uint32, cas
 		e.flags = flags
 		e.cas = cas
 		e.storedAt = now
+		e.expiresAt = expiresAt
 		hc.bump(e)
 		return
 	}
-	e := &cacheEntry{key: key, hash: hash, value: value, flags: flags, cas: cas, storedAt: now}
+	e := &cacheEntry{key: key, hash: hash, value: value, flags: flags, cas: cas,
+		storedAt: now, expiresAt: expiresAt}
 	hc.m[key] = e
 	hc.pushFront(e)
 	hc.stats.Fills++

@@ -37,13 +37,13 @@ func TestHotCacheLRUEvictionOrder(t *testing.T) {
 	now := sim.Time(0)
 	for i := 0; i < 3; i++ {
 		k := fmt.Sprintf("k%d", i)
-		hc.put(k, uint64(i), []byte(k), 0, uint64(i+1), now)
+		hc.put(k, uint64(i), []byte(k), 0, uint64(i+1), 0, now)
 	}
 	// Touch k0 so k1 becomes the LRU victim.
 	if _, ok := hc.get([]byte("k0"), now); !ok {
 		t.Fatal("k0 missing")
 	}
-	hc.put("k3", 3, []byte("k3"), 0, 10, now)
+	hc.put("k3", 3, []byte("k3"), 0, 10, 0, now)
 	if stats.Evictions != 1 {
 		t.Fatalf("evictions %d, want 1", stats.Evictions)
 	}
@@ -61,7 +61,7 @@ func TestHotCacheTTLExpiry(t *testing.T) {
 	var stats HotKeyStats
 	ttl := 2 * sim.Millisecond
 	hc := newHotCache(8, ttl, &stats)
-	hc.put("k", 1, []byte("v"), 0, 1, 0)
+	hc.put("k", 1, []byte("v"), 0, 1, 0, 0)
 	if _, ok := hc.get([]byte("k"), ttl); !ok {
 		t.Fatal("entry at exactly TTL age should still serve")
 	}
@@ -79,14 +79,14 @@ func TestHotCacheTTLExpiry(t *testing.T) {
 func TestHotCachePutCASMonotonic(t *testing.T) {
 	var stats HotKeyStats
 	hc := newHotCache(8, sim.Second, &stats)
-	hc.put("k", 1, []byte("new"), 7, 5, 0)
+	hc.put("k", 1, []byte("new"), 7, 5, 0, 0)
 	// A reordered older response must not roll the entry back.
-	hc.put("k", 1, []byte("old"), 0, 3, 1)
+	hc.put("k", 1, []byte("old"), 0, 3, 0, 1)
 	e, ok := hc.get([]byte("k"), 1)
 	if !ok || string(e.value) != "new" || e.cas != 5 {
 		t.Fatalf("entry rolled back to %+v", e)
 	}
-	hc.put("k", 1, []byte("newer"), 1, 9, 2)
+	hc.put("k", 1, []byte("newer"), 1, 9, 0, 2)
 	if e, _ := hc.get([]byte("k"), 2); string(e.value) != "newer" || e.cas != 9 {
 		t.Fatalf("newer CAS not applied: %+v", e)
 	}
@@ -113,7 +113,7 @@ func TestSketchPromotionEvictionDeterminism(t *testing.T) {
 			}
 			hk.stats.Misses++
 			if hk.sketch.touch(h) >= hk.opt.PromoteMin {
-				hk.cache.put(string(key), h, []byte("v"), 0, uint64(i), now)
+				hk.cache.put(string(key), h, []byte("v"), 0, uint64(i), 0, now)
 			}
 		}
 		return hk.cache.keysMRU(), hk.stats

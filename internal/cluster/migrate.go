@@ -716,7 +716,15 @@ func (m *Migrator) stream(c *event.Ctx, b *Backend, coord hosted.NodeId, req xfe
 		e   *memcached.Entry
 	}
 	var entries []kv
+	now := c.Now()
 	b.Srv.Store.Scan(func(k string, e *memcached.Entry) bool {
+		// Expiry is lazy: the store may still physically hold entries
+		// whose deadline (or a flush_all cut) has passed. Filter them at
+		// stream time - copying one to the destination would resurrect it
+		// as live data under a fresh owner.
+		if !b.Srv.EntryLive(e, now) {
+			return true
+		}
 		h := ringHash([]byte(k))
 		for _, r := range req.ranges {
 			if r.Contains(h) {
@@ -740,7 +748,9 @@ func (m *Migrator) stream(c *event.Ctx, b *Backend, coord hosted.NodeId, req xfe
 			// must hold the SAME stamp as the surviving replicas, or later
 			// cross-replica CAS comparisons (hot-key revalidation, fan-in
 			// folds) would see the migrated copy as a different version.
-			buf = append(buf, memcached.BuildAddStamped([]byte(kv.key), kv.e.Value, kv.e.Flags, uint32(i), true, kv.e.CAS)...)
+			// Likewise the absolute expiry travels verbatim so the entry
+			// keeps its exact deadline at the new owner.
+			buf = append(buf, memcached.BuildAddStampedAbs([]byte(kv.key), kv.e.Value, kv.e.Flags, uint32(i), true, kv.e.CAS, int64(kv.e.Expires))...)
 			if len(buf) >= m.cfg.ChunkBytes {
 				conn.Send(c, iobuf.Wrap(buf))
 				buf = nil
