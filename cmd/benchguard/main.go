@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 
+	"ebbrt/internal/audit"
 	"ebbrt/internal/cluster"
 	"ebbrt/internal/experiments"
 	"ebbrt/internal/sim"
@@ -127,11 +128,33 @@ type mempReport struct {
 	Pass             bool    `json:"pass"`
 }
 
+// eventsReport is the BENCH_events.json schema: the availability run's
+// audit event log, gated on the failure-detection state machine having
+// actually fired - at least one eviction and one restore recorded, with
+// the kill-to-eviction latency under the detection bound. A silently
+// suppressed event stream fails CI here even if the throughput numbers
+// look healthy.
+type eventsReport struct {
+	EventLog    string  `json:"event_log"`
+	TotalEvents int     `json:"total_events"`
+	Kills       int     `json:"kill_events"`
+	Revives     int     `json:"revive_events"`
+	Evictions   int     `json:"eviction_events"`
+	Restores    int     `json:"restore_events"`
+	MissedBeats int     `json:"missed_beat_events"`
+	EvictMs     float64 `json:"eviction_latency_ms"`
+	MaxEvictMs  float64 `json:"floor_eviction_latency_ms"`
+	Pass        bool    `json:"pass"`
+}
+
 func main() {
 	out := flag.String("out", "BENCH_hotkey.json", "report artifact path")
 	r3Out := flag.String("r3-out", "BENCH_hotkey_r3.json", "replicated hot-key report artifact path")
 	lossyOut := flag.String("lossy-out", "BENCH_lossy.json", "lossy-link report artifact path")
 	mempOut := flag.String("memp-out", "BENCH_memp.json", "memory-pressure report artifact path")
+	eventsOut := flag.String("events-out", "BENCH_events.json", "availability event-log report artifact path")
+	eventsLog := flag.String("events-log", "events_benchguard.jsonl", "availability audit event log artifact path")
+	maxEvictMs := flag.Float64("max-evict-ms", 25, "ceiling for the kill-to-eviction detection latency (ms)")
 	minMempHit := flag.Float64("min-memp-hit", 0.55, "floor for the LRU hit rate under 2x memory pressure")
 	minScaling := flag.Float64("min-scaling", 3.0, "floor for 4-backend scaling speedup")
 	minImprove := flag.Float64("min-improvement", 1.3, "floor for the hot-key skewed-tail improvement")
@@ -315,6 +338,20 @@ func main() {
 	}
 	fmt.Printf("\nbenchguard: wrote %s\n%s", *mempOut, mdata)
 
+	fmt.Println("\nbenchguard: availability event-log smoke (kill + revive, audited)")
+	erep := runEventsGate(*eventsLog, *maxEvictMs)
+	edata, err := json.MarshalIndent(erep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	edata = append(edata, '\n')
+	if err := os.WriteFile(*eventsOut, edata, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("\nbenchguard: wrote %s\n%s", *eventsOut, edata)
+
 	switch {
 	case !rep.TTLBounded:
 		fmt.Fprintln(os.Stderr, "benchguard FAIL: staleness probe exceeded the TTL bound")
@@ -352,6 +389,70 @@ func main() {
 	case mrep.LRUAdvantage < 0:
 		fmt.Fprintf(os.Stderr, "benchguard FAIL: LRU hit rate below FIFO by %.3f\n", -mrep.LRUAdvantage)
 		os.Exit(1)
+	case erep.Evictions == 0:
+		fmt.Fprintln(os.Stderr, "benchguard FAIL: availability event log recorded no eviction")
+		os.Exit(1)
+	case erep.Restores == 0:
+		fmt.Fprintln(os.Stderr, "benchguard FAIL: availability event log recorded no restore")
+		os.Exit(1)
+	case erep.EvictMs > *maxEvictMs:
+		fmt.Fprintf(os.Stderr, "benchguard FAIL: eviction latency %.1fms above the %.1fms detection bound\n", erep.EvictMs, *maxEvictMs)
+		os.Exit(1)
 	}
 	fmt.Println("benchguard PASS")
+}
+
+// runEventsGate runs the kill+revive availability smoke with a file
+// sink attached, reads the log back the way CI consumers would, and
+// derives the gated numbers from the events alone.
+func runEventsGate(logPath string, maxEvictMs float64) eventsReport {
+	sink, err := audit.CreateFileSink(logPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	res := experiments.Availability(experiments.AvailabilityOptions{
+		TargetRPS: 25000,
+		Duration:  110 * sim.Millisecond,
+		KillAt:    40 * sim.Millisecond,
+		ReviveAt:  70 * sim.Millisecond,
+		Audit:     audit.NewLog(sink),
+	})
+	fmt.Print(experiments.FormatAvailability(res))
+	if err := sink.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard: event log:", err)
+		os.Exit(2)
+	}
+	f, err := os.Open(logPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	defer f.Close()
+	events, err := audit.ReadEvents(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard: event log:", err)
+		os.Exit(2)
+	}
+
+	x := audit.ExpectEvents(events)
+	rep := eventsReport{
+		EventLog:    logPath,
+		TotalEvents: len(events),
+		Kills:       x.Count(audit.On(audit.NodeKilled)),
+		Revives:     x.Count(audit.On(audit.NodeRevived)),
+		Evictions:   x.Count(audit.On(audit.HealthEvicted)),
+		Restores:    x.Count(audit.On(audit.HealthRestored)),
+		MissedBeats: x.Count(audit.On(audit.HealthMissedBeat)),
+		EvictMs:     -1,
+		MaxEvictMs:  maxEvictMs,
+	}
+	kill, haveKill := x.First(audit.On(audit.NodeKilled))
+	evict, haveEvict := x.First(audit.On(audit.HealthEvicted))
+	if haveKill && haveEvict {
+		rep.EvictMs = float64(evict.Time-kill.Time) / 1e6
+	}
+	rep.Pass = rep.Evictions >= 1 && rep.Restores >= 1 &&
+		rep.EvictMs >= 0 && rep.EvictMs <= maxEvictMs
+	return rep
 }

@@ -9,7 +9,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 
+	"ebbrt/internal/audit"
 	"ebbrt/internal/experiments"
 	"ebbrt/internal/sim"
 )
@@ -24,7 +26,20 @@ func main() {
 	reviveMs := flag.Int("revive", 0, "revive offset (ms), 0 = never")
 	victim := flag.Int("victim", 0, "backend index to kill")
 	timeoutMs := flag.Float64("timeout", 4, "client per-replica request timeout (ms)")
+	eventsOut := flag.String("events", "", "write the run's audit event log (JSON lines) to this file")
 	flag.Parse()
+
+	var alog *audit.Log
+	var sink *audit.FileSink
+	if *eventsOut != "" {
+		s, err := audit.CreateFileSink(*eventsOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ebbrt-availability:", err)
+			os.Exit(2)
+		}
+		sink = s
+		alog = audit.NewLog(sink)
+	}
 
 	res := experiments.Availability(experiments.AvailabilityOptions{
 		Backends:        *backends,
@@ -36,6 +51,14 @@ func main() {
 		ReviveAt:        sim.Time(*reviveMs) * sim.Millisecond,
 		KillBackend:     *victim,
 		RequestTimeout:  sim.Time(*timeoutMs * float64(sim.Millisecond)),
+		Audit:           alog,
 	})
 	fmt.Print(experiments.FormatAvailability(res))
+	if sink != nil {
+		if err := sink.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "ebbrt-availability: event log:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("wrote event log %s\n", *eventsOut)
+	}
 }

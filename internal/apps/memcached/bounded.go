@@ -88,6 +88,9 @@ type boundedClass struct {
 	slab *mem.SlabAllocator
 	head boundedItem
 	n    int
+	// Per-class reclaim history, surfaced by `stats items`.
+	evicted uint64
+	expired uint64
 }
 
 func (c *boundedClass) init() {
@@ -212,6 +215,43 @@ func (s *BoundedStore) Stats() BoundedStoreStats {
 	}
 }
 
+// BoundedClassStats is one slab size class's occupancy and reclaim
+// history, as `stats items` and `stats slabs` report it. Id is the
+// 1-based class id (stock memcached numbers classes from 1).
+type BoundedClassStats struct {
+	Id         int
+	ChunkSize  int
+	Items      int
+	UsedBytes  uint64 // Items * ChunkSize, the class-rounded charge
+	FreeChunks int    // allocated-but-free slab objects
+	Evicted    uint64
+	Expired    uint64
+}
+
+// ClassStats snapshots the slab classes that have any history (resident
+// items or past reclaims), in ascending chunk-size order. Large items
+// (beyond the biggest class) appear only in the aggregate Stats.
+func (s *BoundedStore) ClassStats() []BoundedClassStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []BoundedClassStats
+	for i, c := range s.classes {
+		if c.n == 0 && c.evicted == 0 && c.expired == 0 {
+			continue
+		}
+		out = append(out, BoundedClassStats{
+			Id:         i + 1,
+			ChunkSize:  c.size,
+			Items:      c.n,
+			UsedBytes:  uint64(c.n) * uint64(c.size),
+			FreeChunks: c.slab.FreeObjects(),
+			Evicted:    c.evicted,
+			Expired:    c.expired,
+		})
+	}
+	return out
+}
+
 // Get implements Store. A hit is bumped to the front of its class's
 // list under EvictLRU; EvictFIFO leaves the order as stored.
 func (s *BoundedStore) Get(key string) (*Entry, bool) {
@@ -332,12 +372,14 @@ func (s *BoundedStore) reclaimFrom(c *boundedClass) bool {
 		if it.e.Expired(now) {
 			victim = it
 			s.expired++
+			c.expired++
 			s.removeItem(victim)
 			return true
 		}
 		depth++
 	}
 	s.evictions++
+	c.evicted++
 	s.removeItem(victim)
 	return true
 }

@@ -35,6 +35,7 @@ const (
 	OpFlush     = 0x08
 	OpNoop      = 0x0a
 	OpGetQ      = 0x09
+	OpStat      = 0x10
 	OpAppend    = 0x0e
 	OpPrepend   = 0x0f
 	OpSetQ      = 0x11
@@ -181,6 +182,21 @@ func BuildAddStamped(key, value []byte, flags uint32, opaque uint32, quiet bool,
 func BuildNoop(opaque uint32) []byte {
 	b := make([]byte, HeaderLen)
 	WriteHeader(b, Header{Magic: MagicRequest, Opcode: OpNoop, Opaque: opaque})
+	return b
+}
+
+// BuildStat encodes a STAT request. An empty key requests the general
+// statistics; "items" and "slabs" select those groups. The server
+// answers with one response packet per statistic (name in the key
+// field, value in the value field) terminated by an empty-key,
+// empty-value packet.
+func BuildStat(key []byte, opaque uint32) []byte {
+	b := make([]byte, HeaderLen+len(key))
+	WriteHeader(b, Header{
+		Magic: MagicRequest, Opcode: OpStat,
+		KeyLen: uint16(len(key)), BodyLen: uint32(len(key)), Opaque: opaque,
+	})
+	copy(b[HeaderLen:], key)
 	return b
 }
 

@@ -41,6 +41,38 @@ type Server struct {
 	// EntryLive also honors a due-but-unswept deadline so direct store
 	// readers (migration, staleness probes) never see flushed entries.
 	flushAt sim.Time
+
+	// stats are the live counters behind the `stats` command (stats.go
+	// renders them under their stock names). Both protocols feed the same
+	// counters, mostly from the shared apply* helpers.
+	stats statCounters
+}
+
+// statCounters mirrors stock memcached's general-stats counters. cmd_get
+// is not stored: it is hits+misses by construction (every retrieval key
+// lands in exactly one of the two).
+type statCounters struct {
+	currConns  uint64
+	totalConns uint64
+
+	cmdSet   uint64 // storage commands attempted (set/add/replace/append/prepend)
+	cmdFlush uint64
+	cmdTouch uint64
+
+	getHits    uint64
+	getMisses  uint64
+	getExpired uint64 // retrievals that found a dead entry (counted in getMisses too)
+
+	deleteHits   uint64
+	deleteMisses uint64
+	incrHits     uint64
+	incrMisses   uint64
+	decrHits     uint64
+	decrMisses   uint64
+	touchHits    uint64
+	touchMisses  uint64
+
+	totalItems uint64 // entries ever stored by a command path
 }
 
 // nextCAS returns the next CAS value to stamp on a stored entry.
@@ -90,6 +122,37 @@ func (s *Server) getLive(key string, now sim.Time) (*Entry, bool) {
 	return e, true
 }
 
+// getForRead is getLive plus the retrieval accounting: every key a get
+// command looks up lands in exactly one of get_hits/get_misses, with a
+// miss that reclaimed a dead entry additionally counted in get_expired.
+func (s *Server) getForRead(key string, now sim.Time) (*Entry, bool) {
+	e, ok := s.Store.Get(key)
+	if ok && !s.EntryLive(e, now) {
+		s.Store.Delete(key)
+		s.ExpiredReclaimed++
+		s.stats.getExpired++
+		ok = false
+	}
+	if !ok {
+		s.stats.getMisses++
+		return nil, false
+	}
+	s.stats.getHits++
+	return e, true
+}
+
+// applyDelete removes a live entry, shared by both protocols; the
+// outcome feeds delete_hits/delete_misses. A dead entry answers
+// NOT_FOUND, exactly as if it had already been reclaimed.
+func (s *Server) applyDelete(key string, now sim.Time) bool {
+	if _, ok := s.getLive(key, now); ok && s.Store.Delete(key) {
+		s.stats.deleteHits++
+		return true
+	}
+	s.stats.deleteMisses++
+	return false
+}
+
 // maybeApplyFlush sweeps out entries behind a due flush_all deadline,
 // once, then clears it. Run from the request path so the store's
 // footprint shrinks promptly after the deadline passes; correctness
@@ -117,9 +180,17 @@ func NewServer(store Store, cores int) *Server {
 func (s *Server) Serve(rt appnet.Runtime) error {
 	return rt.Listen(Port, func(conn appnet.Conn) appnet.Callbacks {
 		sc := &serverConn{srv: s}
+		s.stats.currConns++
+		s.stats.totalConns++
 		return appnet.Callbacks{
 			OnData: func(c *event.Ctx, conn appnet.Conn, payload *iobuf.IOBuf) {
 				sc.onData(c, conn, payload)
+			},
+			OnClose: func(c *event.Ctx, conn appnet.Conn, err error) {
+				if !sc.counted {
+					sc.counted = true
+					s.stats.currConns--
+				}
 			},
 		}
 	})
@@ -144,10 +215,11 @@ const (
 
 // serverConn accumulates stream bytes and processes complete requests.
 type serverConn struct {
-	srv  *Server
-	rx   []byte
-	mode byte
-	text textSession
+	srv     *Server
+	rx      []byte
+	mode    byte
+	text    textSession
+	counted bool // curr_connections already decremented for this conn
 }
 
 func (sc *serverConn) onData(c *event.Ctx, conn appnet.Conn, payload *iobuf.IOBuf) {
@@ -252,7 +324,7 @@ func (s *Server) handle(c *event.Ctx, hdr Header, body []byte, resp []byte) []by
 
 	switch hdr.Opcode {
 	case OpGet, OpGetQ:
-		e, ok := s.getLive(key, now)
+		e, ok := s.getForRead(key, now)
 		if !ok {
 			if hdr.Opcode == OpGetQ {
 				return resp // quiet get suppresses misses
@@ -265,6 +337,7 @@ func (s *Server) handle(c *event.Ctx, hdr Header, body []byte, resp []byte) []by
 		return appendResponseCAS(resp, hdr, StatusOK, extras[:], e.Value, e.CAS)
 
 	case OpSet, OpSetQ:
+		s.stats.cmdSet++
 		var flags uint32
 		if hdr.ExtrasLen >= 4 {
 			flags = binary.BigEndian.Uint32(body)
@@ -286,6 +359,8 @@ func (s *Server) handle(c *event.Ctx, hdr Header, body []byte, resp []byte) []by
 				win = cur.CAS
 			} else if !s.Store.Set(key, &Entry{Value: value, Flags: flags, CAS: hdr.CAS, Expires: expires, StoredAt: now}) {
 				return appendResponse(resp, hdr, StatusOutOfMemory, nil, nil)
+			} else {
+				s.stats.totalItems++
 			}
 			if hdr.Opcode == OpSetQ {
 				return resp
@@ -297,6 +372,7 @@ func (s *Server) handle(c *event.Ctx, hdr Header, body []byte, resp []byte) []by
 		if !s.Store.Set(key, &Entry{Value: value, Flags: flags, CAS: cas, Expires: expires, StoredAt: now}) {
 			return appendResponse(resp, hdr, StatusOutOfMemory, nil, nil)
 		}
+		s.stats.totalItems++
 		if hdr.Opcode == OpSetQ {
 			return resp
 		}
@@ -305,6 +381,7 @@ func (s *Server) handle(c *event.Ctx, hdr Header, body []byte, resp []byte) []by
 		return appendResponseCAS(resp, hdr, StatusOK, nil, nil, cas)
 
 	case OpAdd, OpAddQ:
+		s.stats.cmdSet++
 		var flags uint32
 		if hdr.ExtrasLen >= 4 {
 			flags = binary.BigEndian.Uint32(body)
@@ -329,12 +406,14 @@ func (s *Server) handle(c *event.Ctx, hdr Header, body []byte, resp []byte) []by
 			// suppresses only successes.
 			return appendResponse(resp, hdr, StatusKeyExists, nil, nil)
 		}
+		s.stats.totalItems++
 		if hdr.Opcode == OpAddQ {
 			return resp
 		}
 		return appendResponseCAS(resp, hdr, StatusOK, nil, nil, cas)
 
 	case OpAppend, OpPrepend:
+		s.stats.cmdSet++
 		value := body[keyStart+int(hdr.KeyLen):]
 		e, cas, ok := s.applyConcat(key, value, hdr.Opcode == OpAppend, now)
 		if !ok {
@@ -381,15 +460,27 @@ func (s *Server) handle(c *event.Ctx, hdr Header, body []byte, resp []byte) []by
 		return appendResponse(resp, hdr, StatusOK, nil, nil)
 
 	case OpDelete:
-		// A dead entry must answer NOT_FOUND, exactly as if it had
-		// already been reclaimed.
-		if _, ok := s.getLive(key, now); ok && s.Store.Delete(key) {
+		if s.applyDelete(key, now) {
 			return appendResponse(resp, hdr, StatusOK, nil, nil)
 		}
 		return appendResponse(resp, hdr, StatusKeyNotFound, nil, nil)
 
 	case OpNoop:
 		return appendResponse(resp, hdr, StatusOK, nil, nil)
+
+	case OpStat:
+		// One response packet per statistic - name in the key field, value
+		// in the value field - terminated by an empty-key, empty-value
+		// packet, per the stock binary protocol. The request's key selects
+		// the group ("" general, "items", "slabs").
+		lines, ok := s.statLines(key, now)
+		if !ok {
+			return appendResponse(resp, hdr, StatusKeyNotFound, nil, nil)
+		}
+		for _, st := range lines {
+			resp = appendStatResponse(resp, hdr, st.name, st.value)
+		}
+		return appendStatResponse(resp, hdr, "", "")
 
 	default:
 		return appendResponse(resp, hdr, StatusUnknownCmd, nil, nil)
@@ -419,6 +510,7 @@ func (s *Server) applyConcat(key string, value []byte, atEnd bool, now sim.Time)
 	if !s.Store.Set(key, ne) {
 		return nil, 0, true
 	}
+	s.stats.totalItems++
 	return ne, cas, true
 }
 
@@ -435,6 +527,13 @@ func (s *Server) applyConcat(key string, value []byte, atEnd bool, now sim.Time)
 func (s *Server) applyDelta(key string, delta, initial uint64, exptime uint32, incr bool, now sim.Time) (newVal, cas uint64, status int) {
 	cur, ok := s.getLive(key, now)
 	if !ok {
+		// A miss counts as one even when the binary protocol then seeds
+		// the counter from initial, matching stock's incr_misses.
+		if incr {
+			s.stats.incrMisses++
+		} else {
+			s.stats.decrMisses++
+		}
 		if exptime == CounterNoCreate {
 			return 0, 0, StatusKeyNotFound
 		}
@@ -444,6 +543,7 @@ func (s *Server) applyDelta(key string, delta, initial uint64, exptime uint32, i
 		if !s.Store.Set(key, e) {
 			return 0, 0, StatusOutOfMemory
 		}
+		s.stats.totalItems++
 		return initial, cas, StatusOK
 	}
 	v, err := parseCounterValue(cur.Value)
@@ -463,6 +563,11 @@ func (s *Server) applyDelta(key string, delta, initial uint64, exptime uint32, i
 	if !s.Store.Set(key, e) {
 		return 0, 0, StatusOutOfMemory
 	}
+	if incr {
+		s.stats.incrHits++
+	} else {
+		s.stats.decrHits++
+	}
 	return v, cas, StatusOK
 }
 
@@ -478,12 +583,15 @@ func parseCounterValue(v []byte) (uint64, error) {
 // applyTouch updates a live entry's expiry in place without changing
 // its value or CAS (stock touch does not bump CAS).
 func (s *Server) applyTouch(key string, expires sim.Time, now sim.Time) bool {
+	s.stats.cmdTouch++
 	cur, ok := s.getLive(key, now)
 	if !ok {
+		s.stats.touchMisses++
 		return false
 	}
 	s.Store.Set(key, &Entry{Value: cur.Value, Flags: cur.Flags, CAS: cur.CAS,
 		Expires: expires, StoredAt: cur.StoredAt})
+	s.stats.touchHits++
 	return true
 }
 
@@ -492,6 +600,7 @@ func (s *Server) applyTouch(key string, expires sim.Time, now sim.Time) bool {
 // seconds out (stock flush_all's oldest_live). A later flush_all
 // supersedes a pending one.
 func (s *Server) applyFlushAll(delay int64, now sim.Time) {
+	s.stats.cmdFlush++
 	if delay < 0 {
 		delay = 0
 	}
@@ -527,5 +636,25 @@ func appendResponseCAS(resp []byte, req Header, status uint16, extras, value []b
 	})
 	copy(resp[off+HeaderLen:], extras)
 	copy(resp[off+HeaderLen+len(extras):], value)
+	return resp
+}
+
+// appendStatResponse serializes one binary STAT response packet: the
+// statistic's name travels in the key field and its value in the value
+// field, no extras. An empty name/value pair is the sequence terminator.
+func appendStatResponse(resp []byte, req Header, name, value string) []byte {
+	body := len(name) + len(value)
+	off := len(resp)
+	resp = append(resp, make([]byte, HeaderLen+body)...)
+	WriteHeader(resp[off:], Header{
+		Magic:   MagicResponse,
+		Opcode:  req.Opcode,
+		KeyLen:  uint16(len(name)),
+		Status:  StatusOK,
+		BodyLen: uint32(body),
+		Opaque:  req.Opaque,
+	})
+	copy(resp[off+HeaderLen:], name)
+	copy(resp[off+HeaderLen+len(name):], value)
 	return resp
 }

@@ -147,6 +147,7 @@ func (s *Server) handleText(c *event.Ctx, ts *textSession, data []byte) (resp []
 			consumed += ts.need + 2
 			ts.state = textLine
 			s.Requests++
+			s.stats.cmdSet++
 			c.Charge(s.RequestCPU + s.Store.OpCost(s.Cores))
 			if !termOK {
 				// The block was not CRLF-terminated where <bytes> said it
@@ -167,6 +168,7 @@ func (s *Server) handleText(c *event.Ctx, ts *textSession, data []byte) (resp []
 				cur, _ := s.Store.Get(ts.key)
 				e := &Entry{Value: value, Flags: ts.flags, CAS: s.mintCAS(cur), Expires: expires, StoredAt: now}
 				if s.Store.Set(ts.key, e) {
+					s.stats.totalItems++
 					resp = ts.reply(resp, respStored)
 				} else {
 					resp = ts.reply(resp, respOOM)
@@ -180,6 +182,7 @@ func (s *Server) handleText(c *event.Ctx, ts *textSession, data []byte) (resp []
 				}
 				e := &Entry{Value: value, Flags: ts.flags, CAS: s.nextCAS(), Expires: expires, StoredAt: now}
 				if s.Store.Add(ts.key, e) {
+					s.stats.totalItems++
 					resp = ts.reply(resp, respStored)
 				} else {
 					resp = ts.reply(resp, respNotStored)
@@ -191,6 +194,7 @@ func (s *Server) handleText(c *event.Ctx, ts *textSession, data []byte) (resp []
 				if cur, ok := s.getLive(ts.key, now); ok {
 					e := &Entry{Value: value, Flags: ts.flags, CAS: s.mintCAS(cur), Expires: expires, StoredAt: now}
 					if s.Store.Set(ts.key, e) {
+						s.stats.totalItems++
 						resp = ts.reply(resp, respStored)
 					} else {
 						resp = ts.reply(resp, respOOM)
@@ -269,7 +273,7 @@ func (s *Server) execTextLine(c *event.Ctx, ts *textSession, line []byte, resp [
 		withCAS := tokIs(toks[0], "gets")
 		for _, kt := range toks[1:] {
 			c.Charge(s.Store.OpCost(s.Cores))
-			if e, ok := s.getLive(string(kt), now); ok {
+			if e, ok := s.getForRead(string(kt), now); ok {
 				resp = appendTextValue(resp, kt, e, withCAS)
 			}
 		}
@@ -354,9 +358,7 @@ func (s *Server) execTextLine(c *event.Ctx, ts *textSession, line []byte, resp [
 		if len(toks) < 2 || len(toks) > 3 || (len(toks) == 3 && !noreply) || len(toks[1]) > MaxTextKey {
 			return append(resp, respBadLine...), false
 		}
-		// A dead entry answers NOT_FOUND, exactly as if already reclaimed.
-		_, live := s.getLive(string(toks[1]), now)
-		ok := live && s.Store.Delete(string(toks[1]))
+		ok := s.applyDelete(string(toks[1]), now)
 		if noreply {
 			return resp, false
 		}
@@ -364,6 +366,25 @@ func (s *Server) execTextLine(c *event.Ctx, ts *textSession, line []byte, resp [
 			return append(resp, respDeleted...), false
 		}
 		return append(resp, respNotFound...), false
+
+	case tokIs(toks[0], "stats"):
+		// stats [items|slabs] - stats.go renders the groups; an
+		// unrecognized group answers ERROR, as stock does for unsupported
+		// stats arguments.
+		s.Requests++
+		c.Charge(s.RequestCPU + sim.Time(len(line))*textParsePerByte)
+		if len(toks) > 2 {
+			return append(resp, respError...), false
+		}
+		group := ""
+		if len(toks) == 2 {
+			group = string(toks[1])
+		}
+		lines, ok := s.statLines(group, now)
+		if !ok {
+			return append(resp, respError...), false
+		}
+		return appendTextStats(resp, lines), false
 
 	case tokIs(toks[0], "version"):
 		s.Requests++

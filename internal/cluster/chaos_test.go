@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"ebbrt/internal/audit"
 	"ebbrt/internal/event"
 	"ebbrt/internal/sim"
 )
@@ -75,9 +76,11 @@ func TestChaosSchedules(t *testing.T) {
 // sourcing a migration stream. The migrator must restart the affected
 // transfers from a surviving replica and complete; throughout, no get
 // of a durably written key may report a miss and no acked write may be
-// lost.
+// lost. Completion is awaited on the migration.done event and the
+// whole fault timeline is asserted as a sequence.
 func TestMigrationChaosSourceKill(t *testing.T) {
-	cl := NewCluster(4, Options{Replicas: 2})
+	ring := audit.NewRing(8192)
+	cl := NewCluster(4, Options{Replicas: 2, Audit: audit.NewLog(ring)})
 	front := cl.Sys.Frontend()
 	cli := NewClientWithOptions(cl, front, ClientOptions{RequestTimeout: 8 * sim.Millisecond})
 	// Slow the stream down (per-entry CPU) so the kill lands mid-transfer.
@@ -94,6 +97,7 @@ func TestMigrationChaosSourceKill(t *testing.T) {
 	}
 	populateChaos(t, cl, cli, keys)
 
+	mark := ring.Total()
 	joinAt := k.Now() + 2*sim.Millisecond
 	victim := -1
 	k.At(joinAt, func() { m.Join(1) })
@@ -111,6 +115,7 @@ func TestMigrationChaosSourceKill(t *testing.T) {
 		if victim < 0 {
 			t.Fatal("no unfinished job to sabotage")
 		}
+		cl.Audit.Emit(k.Now(), int(cl.Backends[victim].Node.Id), audit.NodeKilled, audit.Fields{"backend": victim})
 		cl.Backends[victim].Node.Kill()
 	})
 	// The health monitor would evict the dead source ~15ms later.
@@ -121,9 +126,24 @@ func TestMigrationChaosSourceKill(t *testing.T) {
 	})
 
 	falseMisses, durable := pumpChaosLoad(t, cl, cli, keys, joinAt, joinAt+120*sim.Millisecond)
-	mig := waitMigration(t, cl, m, 300*sim.Millisecond)
-	if mig.Aborted {
-		t.Fatal("migration aborted instead of restarting from a surviving replica")
+	if _, ok := audit.RunUntilMatch(k, ring,
+		audit.On(audit.MigrationDone), mark, k.Now()+300*sim.Millisecond); !ok {
+		t.Fatal("migration never completed after the source kill")
+	}
+	if err := audit.ExpectEvents(ring.SnapshotSince(mark)).Seq(
+		audit.On(audit.MigrationStart),
+		audit.On(audit.NodeKilled),
+		audit.On(audit.HealthEvicted),
+		audit.On(audit.MigrationDone),
+	); err != nil {
+		t.Fatalf("source-kill sequence: %v", err)
+	}
+	if n := audit.Expect(ring).Count(audit.On(audit.MigrationAbort)); n != 0 {
+		t.Fatalf("migration aborted instead of restarting from a surviving replica (%d abort events)", n)
+	}
+	mig := m.Last()
+	if mig == nil || mig.Aborted {
+		t.Fatal("migrator state disagrees with the event log")
 	}
 	if mig.Lost != 0 {
 		t.Fatalf("%d ranges lost despite surviving replicas", mig.Lost)
@@ -139,7 +159,8 @@ func TestMigrationChaosSourceKill(t *testing.T) {
 // window must close, and - as ever - no durable key may read as a miss
 // and no acked write may be lost.
 func TestMigrationChaosDestKill(t *testing.T) {
-	cl := NewCluster(4, Options{Replicas: 2})
+	ring := audit.NewRing(8192)
+	cl := NewCluster(4, Options{Replicas: 2, Audit: audit.NewLog(ring)})
 	front := cl.Sys.Frontend()
 	cli := NewClientWithOptions(cl, front, ClientOptions{RequestTimeout: 8 * sim.Millisecond})
 	m := NewMigrator(cl, front, MigratorConfig{
@@ -155,6 +176,7 @@ func TestMigrationChaosDestKill(t *testing.T) {
 	}
 	populateChaos(t, cl, cli, keys)
 
+	mark := ring.Total()
 	joinAt := k.Now() + 2*sim.Millisecond
 	k.At(joinAt, func() { m.Join(1) })
 	dest := -1
@@ -163,6 +185,7 @@ func TestMigrationChaosDestKill(t *testing.T) {
 			t.Fatal("migration already finished before the kill - stream too fast for the test")
 		}
 		dest = len(cl.Backends) - 1
+		cl.Audit.Emit(k.Now(), int(cl.Backends[dest].Node.Id), audit.NodeKilled, audit.Fields{"backend": dest})
 		cl.Backends[dest].Node.Kill()
 	})
 	// Eviction of the dead newcomer (the monitor's job) aborts the
@@ -174,12 +197,35 @@ func TestMigrationChaosDestKill(t *testing.T) {
 	})
 
 	falseMisses, durable := pumpChaosLoad(t, cl, cli, keys, joinAt, joinAt+120*sim.Millisecond)
-	mig := waitMigration(t, cl, m, 300*sim.Millisecond)
-	if !mig.Aborted {
-		t.Fatal("migration to a dead destination did not abort")
+	abort, ok := audit.RunUntilMatch(k, ring,
+		audit.On(audit.MigrationAbort), mark, k.Now()+300*sim.Millisecond)
+	if !ok {
+		t.Fatal("migration to a dead destination never emitted migration.abort")
 	}
+	// The abort event fires at the teardown itself: the handoff window
+	// is already closed when it is observed.
 	if cl.Migrating() {
-		t.Fatal("handoff window still open after abort")
+		t.Fatal("handoff window still open after the abort event")
+	}
+	if err := audit.ExpectEvents(ring.SnapshotSince(mark)).Seq(
+		audit.On(audit.MigrationStart),
+		audit.On(audit.NodeKilled),
+		audit.On(audit.HealthEvicted),
+		audit.On(audit.MigrationAbort),
+	); err != nil {
+		t.Fatalf("dest-kill sequence: %v", err)
+	}
+	// An aborted run must not also claim completion, and no cutover may
+	// land after the abort.
+	x := audit.ExpectEvents(ring.SnapshotSince(mark))
+	if n := x.Count(audit.On(audit.MigrationDone)); n != 0 {
+		t.Fatalf("aborted migration emitted %d migration.done events", n)
+	}
+	if last, ok := x.Last(audit.On(audit.MigrationCutover)); ok && last.Time > abort.Time {
+		t.Fatalf("cutover at %d after the abort at %d", last.Time, abort.Time)
+	}
+	if mig := m.Last(); mig == nil || !mig.Aborted {
+		t.Fatal("migrator state disagrees with the event log")
 	}
 	if *falseMisses != 0 {
 		t.Errorf("%d false misses during dest-kill migration", *falseMisses)
@@ -197,7 +243,10 @@ func TestMigrationChaosDestKill(t *testing.T) {
 			})
 		}
 	})
-	k.RunUntil(k.Now() + 20*sim.Millisecond)
+	deadline := k.Now() + 20*sim.Millisecond
+	for acked < 32 && k.Now() < deadline {
+		k.RunFor(250 * sim.Microsecond)
+	}
 	if acked != 32 {
 		t.Fatalf("only %d of 32 writes acked after the aborted join", acked)
 	}
@@ -216,7 +265,11 @@ func populateChaos(t *testing.T, cl *Cluster, cli *Client, keys [][]byte) {
 			})
 		}
 	})
-	cl.Sys.K.RunUntil(cl.Sys.K.Now() + 30*sim.Millisecond)
+	k := cl.Sys.K
+	deadline := k.Now() + 30*sim.Millisecond
+	for acked < len(keys) && k.Now() < deadline {
+		k.RunFor(250 * sim.Microsecond)
+	}
 	if acked != len(keys) {
 		t.Fatalf("populate: %d of %d quorum writes acked", acked, len(keys))
 	}
@@ -255,7 +308,10 @@ func pumpChaosLoad(t *testing.T, cl *Cluster, cli *Client, keys [][]byte, from, 
 		mgr.After(200*sim.Microsecond, pump)
 	}
 	cl.Sys.K.At(from, func() { mgr.Spawn(pump) })
-	cl.Sys.K.RunUntil(to + 40*sim.Millisecond)
+	// Run only to the end of the load window; callers wait on the audit
+	// events for whatever the chaos was supposed to trigger, instead of
+	// a fixed slack window.
+	cl.Sys.K.RunUntil(to)
 	return falseMisses, durable
 }
 

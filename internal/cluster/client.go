@@ -5,6 +5,7 @@ import (
 
 	"ebbrt/internal/apps/appnet"
 	"ebbrt/internal/apps/memcached"
+	"ebbrt/internal/audit"
 	"ebbrt/internal/core"
 	"ebbrt/internal/event"
 	"ebbrt/internal/hosted"
@@ -238,6 +239,11 @@ func (cli *Client) Get(c *event.Ctx, key []byte, cb Callback) {
 			cb = func(c *event.Ctx, r Response) {
 				if r.OK() && !cli.handoffCoversKey(keyCopy) && cli.tombGen == gen {
 					hk.cache.put(string(keyCopy), h, append([]byte(nil), r.Value...), r.Flags, r.CAS, r.ExpiresAt, c.Now())
+					if a := cli.cl.Audit; a != nil {
+						a.Emit(c.Now(), int(cli.node.Id), audit.HotKeyPromoted, audit.Fields{
+							"key": string(keyCopy), "core": c.Core().ID,
+						})
+					}
 				}
 				if inner != nil {
 					inner(c, r)
@@ -475,6 +481,11 @@ func (cli *Client) invalidateHot(c *event.Ctx, key []byte, tombstone bool) {
 	cli.forEachHotRep(c, key, func(c *event.Ctx, hk *hotKeyRep, kb []byte) {
 		if hk.cache.invalidate(kb) {
 			hk.stats.Invalidations++
+			if a := cli.cl.Audit; a != nil {
+				a.Emit(c.Now(), int(cli.node.Id), audit.HotKeyInvalidated, audit.Fields{
+					"key": string(kb), "core": c.Core().ID,
+				})
+			}
 		}
 	})
 }
@@ -529,6 +540,13 @@ func (cli *Client) getFrom(c *event.Ctx, key []byte, reps []int, i int, missed [
 	}, func(c *event.Ctx, r Response) {
 		switch {
 		case r.OK():
+			if i > 0 {
+				if a := cli.cl.Audit; a != nil {
+					a.Emit(c.Now(), int(cli.node.Id), audit.FailoverRead, audit.Fields{
+						"backend": reps[i], "tried": i + 1, "key": string(key),
+					})
+				}
+			}
 			if len(missed) > 0 && !cli.opt.NoReadRepair {
 				cli.readRepair(c, key, missed, r)
 			}
@@ -558,6 +576,11 @@ func (cli *Client) getFrom(c *event.Ctx, key []byte, reps []int, i int, missed [
 // comparisons - and the stamped store rule makes the repair a no-op on
 // a replica that already holds something newer.
 func (cli *Client) readRepair(c *event.Ctx, key []byte, missed []int, r Response) {
+	if a := cli.cl.Audit; a != nil {
+		a.Emit(c.Now(), int(cli.node.Id), audit.ReadRepair, audit.Fields{
+			"key": string(key), "replicas": len(missed),
+		})
+	}
 	value := append([]byte(nil), r.Value...)
 	for _, backend := range missed {
 		cli.rep(c).submit(c, backend, func(opaque uint32) []byte {
@@ -720,6 +743,22 @@ func (f *deleteFold) add(c *event.Ctx, r Response) {
 // outcome.
 func (cli *Client) quorumWrite(c *event.Ctx, key []byte, cb Callback, build func(opaque uint32) []byte, acked func(Response) bool) {
 	targets, quorum := cli.cl.WritePlan(key)
+	if cli.cl.Audit != nil {
+		keyCopy := append([]byte(nil), key...)
+		inner := cb
+		cb = func(c *event.Ctx, r Response) {
+			if r.NetworkError() {
+				if a := cli.cl.Audit; a != nil {
+					a.Emit(c.Now(), int(cli.node.Id), audit.QuorumWriteFail, audit.Fields{
+						"key": string(keyCopy),
+					})
+				}
+			}
+			if inner != nil {
+				inner(c, r)
+			}
+		}
+	}
 	q := newQuorumCall(len(quorum), cb)
 	for _, backend := range targets {
 		var done Callback

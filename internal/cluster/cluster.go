@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ebbrt/internal/apps/memcached"
+	"ebbrt/internal/audit"
 	"ebbrt/internal/hosted"
 	"ebbrt/internal/netstack"
 )
@@ -45,6 +46,11 @@ type Options struct {
 	// The MemoryPressure experiment supplies memcached.NewBoundedStore
 	// here to run every shard under a byte budget.
 	Store func() memcached.Store
+	// Audit, when non-nil, receives every typed event the deployment
+	// emits: TCP transitions from every node's stack, health-monitor
+	// beats, ring membership changes, migration phases, and client quorum
+	// outcomes. See internal/audit.
+	Audit *audit.Log
 }
 
 // Cluster is a sharded memcached deployment: the hosted frontend plus N
@@ -64,6 +70,10 @@ type Cluster struct {
 	// HotWrite is the deployment-wide write-spreading configuration
 	// (Options.HotWrite, resolved to its defaults when enabled).
 	HotWrite HotWriteOptions
+	// Audit is the deployment's event log (Options.Audit; nil drops every
+	// event). Subsystems emit through it unconditionally - a nil Log is
+	// safe - but hot paths still guard so no Fields map is built unheard.
+	Audit *audit.Log
 
 	// stampSeq feeds nextStamp: the coordinator-assigned, replica-wide
 	// version stamps every client write carries. One counter for the
@@ -141,12 +151,13 @@ func NewCluster(backends int, opt Options) *Cluster {
 		panic(fmt.Sprintf("cluster: %d replicas exceed %d backends", opt.Replicas, backends))
 	}
 	cl := &Cluster{
-		Sys:      hosted.NewSystemOpts(hosted.SystemOptions{FrontendCores: opt.FrontendCores, Net: opt.Net}),
+		Sys:      hosted.NewSystemOpts(hosted.SystemOptions{FrontendCores: opt.FrontendCores, Net: opt.Net, Audit: opt.Audit}),
 		Ring:     NewRing(opt.VNodes),
 		Replicas: opt.Replicas,
 		HotKey:   opt.HotKey,
 		HotWrite: opt.HotWrite,
 		newStore: opt.Store,
+		Audit:    opt.Audit,
 	}
 	if cl.HotWrite.Enable {
 		cl.HotWrite = cl.HotWrite.WithDefaults()
@@ -218,6 +229,12 @@ func (cl *Cluster) EvictBackend(i int) {
 	}
 	cl.down[i] = true
 	cl.Ring.Remove(i)
+	// Emitted here, at the membership change itself, so the event fires
+	// whether the health monitor, a migration, or a test evicted the
+	// backend.
+	if a := cl.Audit; a != nil {
+		a.Emit(cl.Sys.K.Now(), int(cl.Backends[i].Node.Id), audit.HealthEvicted, audit.Fields{"backend": i})
+	}
 	for _, fn := range cl.watchers {
 		fn(i, false)
 	}
@@ -234,6 +251,9 @@ func (cl *Cluster) RestoreBackend(i int) {
 	}
 	cl.down[i] = false
 	cl.Ring.Add(i)
+	if a := cl.Audit; a != nil {
+		a.Emit(cl.Sys.K.Now(), int(cl.Backends[i].Node.Id), audit.HealthRestored, audit.Fields{"backend": i})
+	}
 	for _, fn := range cl.watchers {
 		fn(i, true)
 	}

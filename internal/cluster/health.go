@@ -2,7 +2,9 @@ package cluster
 
 import (
 	"encoding/binary"
+	"sync"
 
+	"ebbrt/internal/audit"
 	"ebbrt/internal/core"
 	"ebbrt/internal/event"
 	"ebbrt/internal/hosted"
@@ -67,10 +69,12 @@ type HealthMonitor struct {
 	byNode map[hosted.NodeId]int
 	seq    uint64
 	ticker *sim.Event
-	// EvictedAt and RestoredAt record when each backend last changed
-	// membership, for experiments measuring detection latency.
-	EvictedAt  map[int]sim.Time
-	RestoredAt map[int]sim.Time
+	// mu guards evictedAt/restoredAt: they are written from the monitor
+	// callback on the simulation goroutine but read through the accessors
+	// by experiment code and tests, possibly from other goroutines.
+	mu         sync.Mutex
+	evictedAt  map[int]sim.Time
+	restoredAt map[int]sim.Time
 }
 
 type backendHealth struct {
@@ -90,8 +94,8 @@ func NewHealthMonitor(cl *Cluster, node *hosted.Node, cfg HealthConfig) *HealthM
 		id:         cl.Sys.AllocateEbbId(),
 		states:     make([]backendHealth, len(cl.Backends)),
 		byNode:     map[hosted.NodeId]int{},
-		EvictedAt:  map[int]sim.Time{},
-		RestoredAt: map[int]sim.Time{},
+		evictedAt:  map[int]sim.Time{},
+		restoredAt: map[int]sim.Time{},
 	}
 	for i, b := range cl.Backends {
 		h.byNode[b.Node.Id] = i
@@ -127,6 +131,24 @@ func (h *HealthMonitor) Start() {
 	mgr.Spawn(func(c *event.Ctx) { h.tick(c, mgr) })
 }
 
+// EvictedAt reports when the monitor last evicted backend i, if ever.
+// Safe to call from any goroutine.
+func (h *HealthMonitor) EvictedAt(i int) (sim.Time, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	t, ok := h.evictedAt[i]
+	return t, ok
+}
+
+// RestoredAt reports when the monitor last restored backend i, if ever.
+// Safe to call from any goroutine.
+func (h *HealthMonitor) RestoredAt(i int) (sim.Time, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	t, ok := h.restoredAt[i]
+	return t, ok
+}
+
 // Stop cancels the heartbeat loop.
 func (h *HealthMonitor) Stop() {
 	if h.ticker != nil {
@@ -147,15 +169,24 @@ func (h *HealthMonitor) tick(c *event.Ctx, mgr *event.Manager) {
 		} else {
 			st.misses++
 			st.streak = 0
+			if a := h.cl.Audit; a != nil {
+				a.Emit(c.Now(), int(h.cl.Backends[i].Node.Id), audit.HealthMissedBeat, audit.Fields{
+					"backend": i, "misses": st.misses,
+				})
+			}
 		}
 		if h.cl.Live(i) && st.misses >= h.cfg.FailureThreshold && h.cl.LiveBackends() > 1 {
-			h.EvictedAt[i] = c.Now()
+			h.mu.Lock()
+			h.evictedAt[i] = c.Now()
+			h.mu.Unlock()
 			h.cl.EvictBackend(i)
 		} else if !h.cl.Live(i) && st.streak >= h.cfg.ReviveThreshold && !h.cl.Decommissioned(i) {
 			// A decommissioned backend answering pings (a live drain, or a
 			// dead node that came back after being re-replicated around) is
 			// never restored - its key share has moved on.
-			h.RestoredAt[i] = c.Now()
+			h.mu.Lock()
+			h.restoredAt[i] = c.Now()
+			h.mu.Unlock()
 			h.cl.RestoreBackend(i)
 		}
 	}

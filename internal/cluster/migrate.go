@@ -7,6 +7,7 @@ import (
 
 	"ebbrt/internal/apps/appnet"
 	"ebbrt/internal/apps/memcached"
+	"ebbrt/internal/audit"
 	"ebbrt/internal/core"
 	"ebbrt/internal/event"
 	"ebbrt/internal/hosted"
@@ -371,6 +372,12 @@ func (m *Migrator) start(kind string, prev *Ring, plan []MoveRange, drain int) {
 	}
 	jobs := buildJobs(plan)
 	mig.Jobs = len(jobs)
+	if a := m.cl.Audit; a != nil {
+		a.Emit(mig.StartedAt, int(m.node.Id), audit.MigrationStart, audit.Fields{
+			"id": mig.Id, "kind": kind, "epoch": mig.Epoch,
+			"ranges": mig.Ranges, "jobs": mig.Jobs,
+		})
+	}
 	if len(jobs) == 0 {
 		// Nothing moved (e.g. R already spans the membership).
 		if drain >= 0 {
@@ -497,6 +504,13 @@ func (m *Migrator) onAck(c *event.Ctx, payload []byte) {
 		}
 		if run.scrubbing[j] {
 			return // a scrub is already finishing this job
+		}
+		// The fence returned: every entry of this job's stream is applied
+		// at the destination.
+		if a := m.cl.Audit; a != nil {
+			a.Emit(c.Now(), int(m.node.Id), audit.MigrationFence, audit.Fields{
+				"id": run.mig.Id, "job": j, "moved": moved,
+			})
 		}
 		// Keys quorum-deleted while this job streamed may have been
 		// resurrected at the destination by the stream's pre-delete
@@ -629,6 +643,11 @@ func (m *Migrator) completeJob(j int, moved int, lost bool) {
 	for _, r := range run.jobs[j].ranges {
 		m.cl.completeRange(r)
 	}
+	if a := m.cl.Audit; a != nil {
+		a.Emit(m.cl.Sys.K.Now(), int(m.node.Id), audit.MigrationCutover, audit.Fields{
+			"id": run.mig.Id, "job": j, "ranges": len(run.jobs[j].ranges), "lost": lost,
+		})
+	}
 	run.mig.Moved += moved
 	if lost {
 		run.mig.Lost += len(run.jobs[j].ranges)
@@ -664,6 +683,9 @@ func (m *Migrator) abort() {
 		m.cl.cancelDrain(run.drain)
 	}
 	run.mig.Aborted = true
+	if a := m.cl.Audit; a != nil {
+		a.Emit(m.cl.Sys.K.Now(), int(m.node.Id), audit.MigrationAbort, audit.Fields{"id": run.mig.Id})
+	}
 	m.cur = nil
 	m.conclude(run.mig)
 }
@@ -671,6 +693,13 @@ func (m *Migrator) abort() {
 func (m *Migrator) conclude(mig *Migration) {
 	if mig.DoneAt < 0 {
 		mig.DoneAt = m.cl.Sys.K.Now()
+	}
+	if !mig.Aborted {
+		if a := m.cl.Audit; a != nil {
+			a.Emit(mig.DoneAt, int(m.node.Id), audit.MigrationDone, audit.Fields{
+				"id": mig.Id, "moved": mig.Moved, "lost": mig.Lost,
+			})
+		}
 	}
 	m.last = mig
 	for _, fn := range m.onDone {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"ebbrt/internal/audit"
 	"ebbrt/internal/event"
 	"ebbrt/internal/sim"
 )
@@ -197,7 +198,11 @@ func readAll(cl *Cluster, cli *Client, keys [][]byte) (ok, miss, netErr int) {
 			})
 		}
 	})
-	cl.Sys.K.RunUntil(cl.Sys.K.Now() + 40*sim.Millisecond)
+	k := cl.Sys.K
+	deadline := k.Now() + 40*sim.Millisecond
+	for ok+miss+netErr < len(keys) && k.Now() < deadline {
+		k.RunFor(250 * sim.Microsecond)
+	}
 	return ok, miss, netErr
 }
 
@@ -207,7 +212,8 @@ func readAll(cl *Cluster, cli *Client, keys [][]byte) (ok, miss, netErr int) {
 // its ring share, and the stream moved a bounded fraction of the
 // keyspace.
 func TestJoinStreamsKeyShare(t *testing.T) {
-	cl := NewCluster(3, Options{})
+	ring := audit.NewRing(4096)
+	cl := NewCluster(3, Options{Audit: audit.NewLog(ring)})
 	front := cl.Sys.Frontend()
 	cli := NewClientWithOptions(cl, front, ClientOptions{RequestTimeout: 8 * sim.Millisecond})
 	m := NewMigrator(cl, front, MigratorConfig{})
@@ -239,6 +245,27 @@ func TestJoinStreamsKeyShare(t *testing.T) {
 	}
 	if mig.Moved > nKeys {
 		t.Fatalf("join streamed %d entries for a %d-key population", mig.Moved, nKeys)
+	}
+
+	// The audit trail tells the same story, in order: the run started,
+	// every job fenced and cut over, and the migration concluded clean.
+	x := audit.Expect(ring)
+	if err := x.Seq(
+		audit.On(audit.MigrationStart),
+		audit.On(audit.MigrationFence),
+		audit.On(audit.MigrationCutover),
+		audit.On(audit.MigrationDone),
+	); err != nil {
+		t.Fatalf("join sequence: %v", err)
+	}
+	if fences, cuts := x.Count(audit.On(audit.MigrationFence)), x.Count(audit.On(audit.MigrationCutover)); fences != cuts {
+		t.Fatalf("%d fence events vs %d cutover events", fences, cuts)
+	}
+	if n := x.Count(audit.On(audit.MigrationAbort)); n != 0 {
+		t.Fatalf("clean join emitted %d abort events", n)
+	}
+	if done, ok := x.Last(audit.On(audit.MigrationDone)); !ok || done.Fields["moved"] != mig.Moved {
+		t.Fatalf("migration.done fields %v disagree with Moved=%d", done.Fields, mig.Moved)
 	}
 
 	// Every key still reads OK, with no dual-routing left to help.

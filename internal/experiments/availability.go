@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"ebbrt/internal/audit"
 	"ebbrt/internal/cluster"
 	"ebbrt/internal/event"
 	"ebbrt/internal/load"
@@ -43,6 +44,12 @@ type AvailabilityOptions struct {
 	// KeySpace sizes the ETC key population (default 4000, smaller
 	// than the full workload so prepopulation stays cheap).
 	KeySpace int
+	// Audit, when non-nil, receives the run's typed event stream:
+	// chaos.kill/chaos.revive markers from the fault injector here plus
+	// everything the cluster's state machines emit (missed beats,
+	// evictions, restores, TCP transitions). Wire a FileSink to get a
+	// CI-greppable events.jsonl artifact.
+	Audit *audit.Log
 }
 
 func (o *AvailabilityOptions) applyDefaults() {
@@ -134,6 +141,7 @@ func Availability(opt AvailabilityOptions) AvailabilityResult {
 		CoresPerBackend: opt.CoresPerBackend,
 		Replicas:        opt.Replicas,
 		FrontendCores:   opt.FrontendCores,
+		Audit:           opt.Audit,
 	})
 	front := cl.Sys.Frontend()
 	cli := cluster.NewClientWithOptions(cl, front, cluster.ClientOptions{
@@ -156,14 +164,25 @@ func Availability(opt AvailabilityOptions) AvailabilityResult {
 
 	etc := load.DefaultETC()
 	etc.KeySpace = opt.KeySpace
+	victimNode := int(cl.Backends[opt.KillBackend].Node.Id)
 	events := []load.ChaosEvent{{
 		At: opt.KillAt,
-		Fn: func() { cl.Backends[opt.KillBackend].Node.Kill() },
+		Fn: func() {
+			if a := opt.Audit; a != nil {
+				a.Emit(k.Now(), victimNode, audit.NodeKilled, audit.Fields{"backend": opt.KillBackend})
+			}
+			cl.Backends[opt.KillBackend].Node.Kill()
+		},
 	}}
 	if opt.ReviveAt > 0 {
 		events = append(events, load.ChaosEvent{
 			At: opt.ReviveAt,
-			Fn: func() { cl.Backends[opt.KillBackend].Node.Revive() },
+			Fn: func() {
+				if a := opt.Audit; a != nil {
+					a.Emit(k.Now(), victimNode, audit.NodeRevived, audit.Fields{"backend": opt.KillBackend})
+				}
+				cl.Backends[opt.KillBackend].Node.Revive()
+			},
 		})
 	}
 	res := load.RunClusterLoad(front.Runtime, clusterKV{cli: cli}, load.ClusterLoadConfig{

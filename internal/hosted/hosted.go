@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"ebbrt/internal/apps/appnet"
+	"ebbrt/internal/audit"
 	"ebbrt/internal/core"
 	"ebbrt/internal/event"
 	"ebbrt/internal/gpos"
@@ -46,6 +47,7 @@ type System struct {
 	nextId core.Id
 
 	netCfg     netstack.Config
+	auditLog   *audit.Log
 	frontFSRep *fsFrontendRep // FileSystem Ebb's frontend store
 }
 
@@ -105,6 +107,10 @@ type SystemOptions struct {
 	// netstack.DefaultConfig(); experiments override it to ablate
 	// transport features (e.g. fixed- vs adaptive-RTO baselines).
 	Net netstack.Config
+	// Audit, when non-nil, is wired into every node's network stack so
+	// TCP state transitions and loss-recovery actions are published as
+	// typed events labeled with the node's id.
+	Audit *audit.Log
 }
 
 // NewSystem creates the frontend (hosted) node with the default two
@@ -127,7 +133,7 @@ func NewSystemOpts(opt SystemOptions) *System {
 		opt.Net = netstack.DefaultConfig()
 	}
 	k := sim.NewKernel()
-	s := &System{K: k, Switch: machine.NewSwitch(k), nextId: 1000, netCfg: opt.Net}
+	s := &System{K: k, Switch: machine.NewSwitch(k), nextId: 1000, netCfg: opt.Net, auditLog: opt.Audit}
 	s.addNode(true, opt.FrontendCores)
 	return s
 }
@@ -172,10 +178,13 @@ func (s *System) addNode(frontend bool, cores int) *Node {
 	if frontend {
 		// The hosted library lives in a GPOS process: same Ebb model,
 		// hash-table translation, syscall-priced networking.
-		node.Runtime = gpos.NewRuntime(m, mgrs, s.netCfg, gpos.LinuxConfig(), nic, node.IP(), mask)
+		rt := gpos.NewRuntime(m, mgrs, s.netCfg, gpos.LinuxConfig(), nic, node.IP(), mask)
+		rt.Stack.Audit, rt.Stack.AuditNode = s.auditLog, int(id)
+		node.Runtime = rt
 		node.Domain = core.NewDomain(cores, core.HostedTable)
 	} else {
 		st := netstack.NewStack(m, mgrs, s.netCfg)
+		st.Audit, st.AuditNode = s.auditLog, int(id)
 		itf := st.AddInterface(nic, node.IP(), mask)
 		node.Runtime = appnet.NewNative(st, itf)
 		node.Domain = core.NewDomain(cores, core.NativeTable)

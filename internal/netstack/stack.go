@@ -1,6 +1,7 @@
 package netstack
 
 import (
+	"ebbrt/internal/audit"
 	"ebbrt/internal/event"
 	"ebbrt/internal/machine"
 	"ebbrt/internal/sim"
@@ -82,6 +83,15 @@ type Stack struct {
 	Mgrs []*event.Manager
 	Cfg  Config
 	Itfs []*Interface
+
+	// Audit, when non-nil, receives a typed event for every TCP state
+	// transition and loss-recovery action (retransmit, fast retransmit,
+	// persist probe) on this stack; AuditNode labels those events with
+	// the owning node's id. The stack itself has no node concept, so the
+	// embedder (internal/hosted, or a test harness) wires both after
+	// construction.
+	Audit     *audit.Log
+	AuditNode int
 }
 
 // NewStack creates a stack over the machine's event managers.

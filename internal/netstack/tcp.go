@@ -3,6 +3,7 @@ package netstack
 import (
 	"fmt"
 
+	"ebbrt/internal/audit"
 	"ebbrt/internal/event"
 	"ebbrt/internal/iobuf"
 	"ebbrt/internal/rcu"
@@ -193,6 +194,37 @@ type oooSegment struct {
 // State returns the connection state name (for logs and tests).
 func (p *TcpPcb) State() string { return p.state.String() }
 
+// setState moves the connection state machine, publishing the
+// transition to the stack's audit log when one is attached. Every
+// transition after PCB creation goes through here so the audit stream
+// sees the complete lifecycle (SynSent→Established→…→Closed).
+func (p *TcpPcb) setState(c *event.Ctx, s tcpState) {
+	if p.state == s {
+		return
+	}
+	from := p.state
+	p.state = s
+	if a := p.itf.St.Audit; a != nil {
+		a.Emit(c.Now(), p.itf.St.AuditNode, audit.TCPState, audit.Fields{
+			"from":  from.String(),
+			"to":    s.String(),
+			"lport": int(p.key.lport),
+			"rport": int(p.key.rport),
+		})
+	}
+}
+
+// auditRecovery publishes one loss-recovery action (retransmit, fast
+// retransmit, persist probe) when an audit log is attached.
+func (p *TcpPcb) auditRecovery(now sim.Time, kind audit.Kind) {
+	if a := p.itf.St.Audit; a != nil {
+		a.Emit(now, p.itf.St.AuditNode, kind, audit.Fields{
+			"lport": int(p.key.lport),
+			"rport": int(p.key.rport),
+		})
+	}
+}
+
 // Core reports the owning core.
 func (p *TcpPcb) Core() int { return p.core }
 
@@ -259,7 +291,6 @@ func (itf *Interface) ConnectTcp(c *event.Ctx, dst Ipv4Addr, dstPort uint16, h C
 		itf:      itf,
 		key:      key,
 		core:     c.Core().ID,
-		state:    tcpSynSent,
 		h:        h,
 		sndUna:   t.isn,
 		sndNxt:   t.isn,
@@ -268,6 +299,7 @@ func (itf *Interface) ConnectTcp(c *event.Ctx, dst Ipv4Addr, dstPort uint16, h C
 		ooo:      map[uint32]oooSegment{},
 		flowHash: FlowHash(itf.Addr, lport, dst, dstPort),
 	}
+	pcb.setState(c, tcpSynSent)
 	t.conns.Put(key, pcb)
 	pcb.sendSegment(c, tcpSYN, nil)
 	return pcb, nil
@@ -311,10 +343,10 @@ func (p *TcpPcb) Send(c *event.Ctx, payload *iobuf.IOBuf) error {
 func (p *TcpPcb) Close(c *event.Ctx) {
 	switch p.state {
 	case tcpEstablished:
-		p.state = tcpFinWait1
+		p.setState(c, tcpFinWait1)
 		p.sendSegment(c, tcpFIN|tcpACK, nil)
 	case tcpCloseWait:
-		p.state = tcpLastAck
+		p.setState(c, tcpLastAck)
 		p.sendSegment(c, tcpFIN|tcpACK, nil)
 	case tcpSynSent, tcpSynReceived:
 		p.sendRawSegment(c, p.sndNxt, p.rcvNxt, tcpRST|tcpACK, nil)
@@ -493,6 +525,7 @@ func (p *TcpPcb) retransmitSegment(c *event.Ctx, seg *segment) {
 	seg.sentAt = c.Now()
 	p.Retransmits++
 	p.itf.tcp.stats.Retransmits++
+	p.auditRecovery(c.Now(), audit.TCPRetransmit)
 	p.transmitFrame(c, p.buildFrame(seg.seq, p.rcvNxt, seg.flags, seg.data))
 	p.needAck = false
 }
@@ -530,6 +563,7 @@ func (p *TcpPcb) armPersist() {
 		p.persistBackoff++
 		p.PersistProbes++
 		p.itf.tcp.stats.PersistProbes++
+		p.auditRecovery(c.Now(), audit.TCPPersistProbe)
 		// Probe with one already-acknowledged byte (seq sndNxt-1): the
 		// peer discards it as a duplicate and re-ACKs with its current
 		// window.
@@ -550,7 +584,7 @@ func (p *TcpPcb) teardown(c *event.Ctx, err error) {
 	p.cancelRTO()
 	p.cancelPersist()
 	wasClosed := p.state == tcpClosed
-	p.state = tcpClosed
+	p.setState(c, tcpClosed)
 	p.itf.tcp.conns.Delete(p.key)
 	if !wasClosed && p.h.OnClosed != nil {
 		p.h.OnClosed(c, p, err)
@@ -626,7 +660,6 @@ func (t *tcpLayer) acceptSyn(c *event.Ctx, l *TcpListener, ip Ipv4Header, hdr Tc
 		itf:      t.itf,
 		key:      key,
 		core:     c.Core().ID, // RSS placed the SYN here; affinity follows
-		state:    tcpSynReceived,
 		sndUna:   t.isn,
 		sndNxt:   t.isn,
 		sndWnd:   uint32(hdr.Window),
@@ -635,6 +668,7 @@ func (t *tcpLayer) acceptSyn(c *event.Ctx, l *TcpListener, ip Ipv4Header, hdr Tc
 		ooo:      map[uint32]oooSegment{},
 		flowHash: FlowHash(t.itf.Addr, hdr.DstPort, ip.Src, hdr.SrcPort),
 	}
+	pcb.setState(c, tcpSynReceived)
 	pcb.h = l.accept(c, pcb)
 	t.conns.Put(key, pcb)
 	pcb.sendSegment(c, tcpSYN|tcpACK, nil)
@@ -662,7 +696,7 @@ func (p *TcpPcb) input(c *event.Ctx, hdr TcpHeader, payload *iobuf.IOBuf) {
 		if hdr.Flags&(tcpSYN|tcpACK) == tcpSYN|tcpACK && hdr.Ack == p.sndNxt {
 			p.processAck(c, hdr, plen)
 			p.rcvNxt = hdr.Seq + 1
-			p.state = tcpEstablished
+			p.setState(c, tcpEstablished)
 			p.needAck = true
 			p.flushAck(c)
 			if p.h.OnConnected != nil {
@@ -673,7 +707,7 @@ func (p *TcpPcb) input(c *event.Ctx, hdr TcpHeader, payload *iobuf.IOBuf) {
 	case tcpSynReceived:
 		if hdr.Flags&tcpACK != 0 && seqLT(p.sndUna, hdr.Ack) {
 			p.processAck(c, hdr, plen)
-			p.state = tcpEstablished
+			p.setState(c, tcpEstablished)
 			if p.h.OnConnected != nil {
 				p.h.OnConnected(c, p)
 			}
@@ -748,7 +782,7 @@ func (p *TcpPcb) processAck(c *event.Ctx, hdr TcpHeader, plen int) {
 		switch p.state {
 		case tcpFinWait1:
 			if finCovered {
-				p.state = tcpFinWait2
+				p.setState(c, tcpFinWait2)
 			}
 		case tcpClosing:
 			if finCovered {
@@ -775,6 +809,7 @@ func (p *TcpPcb) processAck(c *event.Ctx, hdr TcpHeader, plen int) {
 			p.fastRecovery = true
 			p.FastRetransmits++
 			p.itf.tcp.stats.FastRetransmits++
+			p.auditRecovery(c.Now(), audit.TCPFastRetransmit)
 			p.retransmitSegment(c, &p.inflight[0])
 			p.cancelRTO()
 			p.armRTO()
@@ -902,12 +937,12 @@ func (p *TcpPcb) deliver(c *event.Ctx, payload *iobuf.IOBuf, fin bool, seqLen ui
 		case tcpEstablished:
 			// Remote half-closed; the local side may still send until it
 			// calls Close. OnClosed fires only at full teardown.
-			p.state = tcpCloseWait
+			p.setState(c, tcpCloseWait)
 			if p.h.OnRemoteClosed != nil {
 				p.h.OnRemoteClosed(c, p)
 			}
 		case tcpFinWait1:
-			p.state = tcpClosing
+			p.setState(c, tcpClosing)
 		case tcpFinWait2:
 			p.enterTimeWait(c)
 		}
@@ -917,7 +952,7 @@ func (p *TcpPcb) deliver(c *event.Ctx, payload *iobuf.IOBuf, fin bool, seqLen ui
 // enterTimeWait briefly parks the key before release (shortened 2MSL; the
 // simulated network cannot deliver ancient duplicates).
 func (p *TcpPcb) enterTimeWait(c *event.Ctx) {
-	p.state = tcpTimeWait
+	p.setState(c, tcpTimeWait)
 	p.flushAck(c)
 	mgr := p.itf.St.Mgrs[p.core]
 	mgr.After(1*sim.Millisecond, func(c2 *event.Ctx) {
