@@ -1,16 +1,19 @@
 // Command benchguard is the CI benchmark regression gate: it runs the
-// cluster-scaling, hot-key, replicated hot-key (R=3), lossy-link, and
-// memory-pressure experiments at smoke scale, writes the measured
-// numbers to JSON artifacts, and exits non-zero if any headline number
-// regresses below its committed floor. The floors are deliberately
-// below the measured values (4x scaling measured vs 3.0 floor; ~1.7x
-// hot-key improvement measured vs 1.3 floor; ~1.9x replicated hot-key
-// improvement measured vs 1.5 floor; ~6x adaptive-RTO advantage at 5%
-// loss measured vs 1.5 floor; ~0.77 LRU hit rate under 2x memory
-// pressure vs 0.55 floor) so the gate trips on real regressions, not
-// noise. Two memory-pressure gates are hard, not floors: the bounded
-// stores must never exceed their byte budget, and the expiry probe
-// must find zero expired values served from any layer.
+// cluster-scaling, hot-key, replicated hot-key (R=3), lossy-link,
+// memory-pressure, and frontend-tier experiments at smoke scale, writes
+// the measured numbers to JSON artifacts, and exits non-zero if any
+// headline number regresses below its committed floor. The floors are
+// deliberately below the measured values (4x scaling measured vs 3.0
+// floor; ~1.7x hot-key improvement measured vs 1.3 floor; ~1.9x
+// replicated hot-key improvement measured vs 1.5 floor; ~6x
+// adaptive-RTO advantage at 5% loss measured vs 1.5 floor; ~0.77 LRU
+// hit rate under 2x memory pressure vs 0.55 floor; ~2.6x batched/per-op
+// frontend throughput measured vs 1.3 floor) so the gate trips on real
+// regressions, not noise. Two memory-pressure gates are hard, not
+// floors: the bounded stores must never exceed their byte budget, and
+// the expiry probe must find zero expired values served from any layer.
+// The frontend gate additionally requires zero failed callbacks and at
+// least one multi-op round actually formed.
 package main
 
 import (
@@ -128,6 +131,27 @@ type mempReport struct {
 	Pass             bool    `json:"pass"`
 }
 
+// frontendReport is the BENCH_frontend.json schema: the frontend-tier
+// batched submission queue (coalesced GETQ+Noop rounds) versus the
+// per-op GET spine on the same single-frontend deployment, offered the
+// same multiget load just past the per-op ceiling. Ratio is the number
+// the gate guards, alongside zero failed callbacks in either arm.
+type frontendReport struct {
+	Frontends     int     `json:"frontends"`
+	Backends      int     `json:"backends"`
+	MultiGet      int     `json:"multiget_keys_per_read"`
+	OfferedRPS    float64 `json:"offered_arrivals_per_sec"`
+	PerOpRPS      float64 `json:"per_op_rps"`
+	BatchedRPS    float64 `json:"batched_rps"`
+	Ratio         float64 `json:"batched_over_per_op"`
+	BatchedRounds uint64  `json:"batched_rounds"`
+	MultiOpRounds uint64  `json:"multi_op_rounds"`
+	QuietMisses   uint64  `json:"quiet_misses"`
+	NetErrs       uint64  `json:"net_errs"`
+	MinRatio      float64 `json:"floor_batched_over_per_op"`
+	Pass          bool    `json:"pass"`
+}
+
 // eventsReport is the BENCH_events.json schema: the availability run's
 // audit event log, gated on the failure-detection state machine having
 // actually fired - at least one eviction and one restore recorded, with
@@ -152,6 +176,8 @@ func main() {
 	r3Out := flag.String("r3-out", "BENCH_hotkey_r3.json", "replicated hot-key report artifact path")
 	lossyOut := flag.String("lossy-out", "BENCH_lossy.json", "lossy-link report artifact path")
 	mempOut := flag.String("memp-out", "BENCH_memp.json", "memory-pressure report artifact path")
+	frontOut := flag.String("frontend-out", "BENCH_frontend.json", "frontend-tier report artifact path")
+	minFrontRatio := flag.Float64("min-frontend-ratio", 1.3, "floor for the batched/per-op frontend throughput ratio")
 	eventsOut := flag.String("events-out", "BENCH_events.json", "availability event-log report artifact path")
 	eventsLog := flag.String("events-log", "events_benchguard.jsonl", "availability audit event log artifact path")
 	maxEvictMs := flag.Float64("max-evict-ms", 25, "ceiling for the kill-to-eviction detection latency (ms)")
@@ -338,6 +364,40 @@ func main() {
 	}
 	fmt.Printf("\nbenchguard: wrote %s\n%s", *mempOut, mdata)
 
+	fmt.Println("\nbenchguard: frontend-tier smoke (batched GETQ rounds vs per-op spine, N=1)")
+	fs := experiments.FrontendScaling(experiments.FrontendScalingOptions{
+		FrontendCounts: []int{1},
+		Duration:       dur,
+	})
+	fmt.Print(experiments.FormatFrontendScaling(fs))
+	frow := fs.Rows[0]
+	frep := frontendReport{
+		Frontends:     frow.Frontends,
+		Backends:      fs.Opt.Backends,
+		MultiGet:      fs.Opt.MultiGet,
+		OfferedRPS:    frow.OfferedRPS,
+		PerOpRPS:      frow.PerOp.AchievedRPS,
+		BatchedRPS:    frow.Batched.AchievedRPS,
+		Ratio:         frow.Ratio,
+		BatchedRounds: frow.Stats.Rounds,
+		MultiOpRounds: frow.Stats.Batches,
+		QuietMisses:   frow.Stats.QuietMisses,
+		NetErrs:       fs.NetErrs,
+		MinRatio:      *minFrontRatio,
+	}
+	frep.Pass = frep.Ratio >= *minFrontRatio && frep.NetErrs == 0 && frep.MultiOpRounds > 0
+	fdata, err := json.MarshalIndent(frep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	fdata = append(fdata, '\n')
+	if err := os.WriteFile(*frontOut, fdata, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("\nbenchguard: wrote %s\n%s", *frontOut, fdata)
+
 	fmt.Println("\nbenchguard: availability event-log smoke (kill + revive, audited)")
 	erep := runEventsGate(*eventsLog, *maxEvictMs)
 	edata, err := json.MarshalIndent(erep, "", "  ")
@@ -388,6 +448,15 @@ func main() {
 		os.Exit(1)
 	case mrep.LRUAdvantage < 0:
 		fmt.Fprintf(os.Stderr, "benchguard FAIL: LRU hit rate below FIFO by %.3f\n", -mrep.LRUAdvantage)
+		os.Exit(1)
+	case frep.MultiOpRounds == 0:
+		fmt.Fprintln(os.Stderr, "benchguard FAIL: frontend batched arm formed no multi-op rounds")
+		os.Exit(1)
+	case frep.Ratio < *minFrontRatio:
+		fmt.Fprintf(os.Stderr, "benchguard FAIL: frontend batched/per-op ratio %.2fx below floor %.2fx\n", frep.Ratio, *minFrontRatio)
+		os.Exit(1)
+	case frep.NetErrs != 0:
+		fmt.Fprintf(os.Stderr, "benchguard FAIL: %d failed client callbacks in the frontend-tier smoke\n", frep.NetErrs)
 		os.Exit(1)
 	case erep.Evictions == 0:
 		fmt.Fprintln(os.Stderr, "benchguard FAIL: availability event log recorded no eviction")

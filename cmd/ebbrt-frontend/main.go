@@ -1,0 +1,63 @@
+// Command ebbrt-frontend runs the frontend-tier scale-out experiment:
+// the multiget ETC workload driven through N hosted GPOS frontends
+// against M native backends, with the client's batched submission queue
+// (coalesced GETQ+Noop rounds) ablated against the per-op GET spine at
+// every N. The single-frontend ceiling is profiled first, then the
+// matrix; -min-ratio turns the batched-vs-per-op ablation into a gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ebbrt/internal/experiments"
+	"ebbrt/internal/sim"
+)
+
+func main() {
+	frontends := flag.String("frontends", "1,2,3", "comma-separated frontend counts")
+	backends := flag.Int("backends", 4, "native backend count")
+	backendCores := flag.Int("backend-cores", 2, "cores per backend")
+	frontCores := flag.Int("front-cores", 1, "cores per hosted frontend")
+	rate := flag.Float64("rate", 50000, "offered arrivals per second per frontend")
+	durMs := flag.Int("duration", 40, "measured window per point (ms)")
+	multiget := flag.Int("multiget", 8, "keys per read arrival")
+	maxBatch := flag.Int("max-batch", 0, "max reads per pipelined round (0 = default)")
+	keys := flag.Int("keys", 3000, "ETC key population")
+	minRatio := flag.Float64("min-ratio", 0, "exit non-zero if batched/per-op at N=1 falls below this")
+	flag.Parse()
+
+	var counts []int
+	for _, tok := range strings.Split(*frontends, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "bad frontend count %q\n", tok)
+			os.Exit(2)
+		}
+		counts = append(counts, n)
+	}
+
+	res := experiments.FrontendScaling(experiments.FrontendScalingOptions{
+		FrontendCounts:  counts,
+		Backends:        *backends,
+		CoresPerBackend: *backendCores,
+		FrontendCores:   *frontCores,
+		PerFrontendRPS:  *rate,
+		MultiGet:        *multiget,
+		MaxBatch:        *maxBatch,
+		Duration:        sim.Time(*durMs) * sim.Millisecond,
+		KeySpace:        *keys,
+	})
+	fmt.Print(experiments.FormatFrontendScaling(res))
+	if res.NetErrs > 0 {
+		fmt.Fprintf(os.Stderr, "%d operations failed with network errors\n", res.NetErrs)
+		os.Exit(1)
+	}
+	if *minRatio > 0 && res.Ratio < *minRatio {
+		fmt.Fprintf(os.Stderr, "batched/per-op ratio %.2fx below floor %.2fx\n", res.Ratio, *minRatio)
+		os.Exit(1)
+	}
+}

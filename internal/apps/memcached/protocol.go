@@ -116,6 +116,21 @@ func BuildGet(key []byte, opaque uint32) []byte {
 	return b
 }
 
+// BuildGetQ encodes a quiet GET. The server suppresses the miss
+// response entirely and answers a hit with the GETQ opcode echoed;
+// clients pipeline a run of GETQs and fence them with a NOOP, reading
+// absence of a member's response once the fence answers (docs/PROTOCOL.md
+// "Multiget rounds").
+func BuildGetQ(key []byte, opaque uint32) []byte {
+	b := make([]byte, HeaderLen+len(key))
+	WriteHeader(b, Header{
+		Magic: MagicRequest, Opcode: OpGetQ,
+		KeyLen: uint16(len(key)), BodyLen: uint32(len(key)), Opaque: opaque,
+	})
+	copy(b[HeaderLen:], key)
+	return b
+}
+
 // BuildSet encodes a SET request with flags and zero expiry.
 func BuildSet(key, value []byte, flags uint32, opaque uint32) []byte {
 	return BuildSetStamped(key, value, flags, opaque, 0)

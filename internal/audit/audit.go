@@ -57,6 +57,10 @@ const (
 	ReadRepair      Kind = "client.read_repair"
 	FailoverRead    Kind = "client.failover_read"
 
+	// internal/cluster/batch.go: one multi-op read round left a
+	// frontend core for a backend (fields: backend, ops, bytes).
+	FrontendBatchFlush Kind = "frontend.batch_flush"
+
 	// internal/cluster/client.go hot-key cache coherence.
 	HotKeyPromoted    Kind = "hotkey.promoted"
 	HotKeyInvalidated Kind = "hotkey.invalidated"

@@ -69,6 +69,11 @@ type ClientOptions struct {
 	// disabled the client inherits the cluster's Options.HotKey; set
 	// HotKey.Disable to keep the cache off regardless.
 	HotKey HotKeyOptions
+	// Batch tunes the read-submission queue that coalesces same-backend
+	// reads into pipelined GETQ+Noop rounds. The zero value batches only
+	// within one GetMulti call (MaxBatch DefaultMaxBatch); MaxBatch 1
+	// reverts every read to its own plain GET.
+	Batch BatchOptions
 }
 
 // Client is the cluster-aware memcached client Ebb. Its id lives in the
@@ -122,12 +127,14 @@ func NewClientWithOptions(cl *Cluster, node *hosted.Node, opt ClientOptions) *Cl
 	if opt.HotKey.Enable {
 		opt.HotKey = opt.HotKey.WithDefaults()
 	}
+	opt.Batch = opt.Batch.WithDefaults()
 	cli := &Client{cl: cl, node: node, opt: opt}
 	id := cl.Sys.AllocateEbbId()
 	mgrs := node.Runtime.Mgrs()
 	cli.mgrs = mgrs
 	cli.ref = core.Attach(node.Domain, id, func(corei int) *clientRep {
-		rep := &clientRep{cli: cli, mgr: mgrs[corei], pools: map[int]*backendPool{}}
+		rep := &clientRep{cli: cli, mgr: mgrs[corei], pools: map[int]*backendPool{},
+			queue: newReadQueue(cli.opt.Batch)}
 		if cli.opt.HotKey.Enable {
 			rep.hot = newHotKeyRep(cli.opt.HotKey)
 		}
@@ -209,6 +216,51 @@ func (cli *Client) Id() core.Id { return cli.ref.Id() }
 // entirely.
 func (cli *Client) Get(c *event.Ctx, key []byte, cb Callback) {
 	rep := cli.rep(c)
+	rep.beginBatch()
+	cli.getOne(c, rep, key, cb)
+	rep.endBatch(c)
+}
+
+// BatchCallback receives a GetMulti's responses, index-aligned with the
+// requested keys, once every key has resolved.
+type BatchCallback func(c *event.Ctx, rs []Response)
+
+// GetMulti fetches keys as one batch: each key takes the exact same
+// path as Get - hot-key cache, handoff dual-read, replica failover,
+// read repair - but keys bound for the same backend leave the core as
+// one pipelined GETQ+Noop round instead of one GET apiece. cb fires
+// once with all responses, index-aligned with keys; duplicate keys are
+// answered independently. Failover retries for keys whose primary read
+// failed go out immediately (as their own rounds) rather than waiting
+// on the rest of the batch.
+func (cli *Client) GetMulti(c *event.Ctx, keys [][]byte, cb BatchCallback) {
+	if len(keys) == 0 {
+		if cb != nil {
+			cb(c, nil)
+		}
+		return
+	}
+	rep := cli.rep(c)
+	out := make([]Response, len(keys))
+	left := len(keys)
+	rep.beginBatch()
+	for i := range keys {
+		i := i
+		cli.getOne(c, rep, keys[i], func(c *event.Ctx, r Response) {
+			out[i] = r
+			if left--; left == 0 && cb != nil {
+				cb(c, out)
+			}
+		})
+	}
+	rep.endBatch(c)
+}
+
+// getOne is the shared single-key read path behind Get and GetMulti:
+// the hot-key cache consultation and promotion wrapping, then the
+// replicated fetch. It runs inside an open batch scope, so the network
+// reads it issues land in the core's coalescing queue.
+func (cli *Client) getOne(c *event.Ctx, rep *clientRep, key []byte, cb Callback) {
 	if hk := rep.hot; hk != nil {
 		h := ringHash(key)
 		if cli.handoffCoversKey(key) {
@@ -523,6 +575,18 @@ func (cli *Client) HotKeyStats() HotKeyStats {
 	return out
 }
 
+// BatchStats sums the read-submission queue counters across the
+// client's per-core representatives.
+func (cli *Client) BatchStats() BatchStats {
+	var out BatchStats
+	for corei := range cli.mgrs {
+		if rep, ok := cli.ref.GetIfPresent(corei); ok {
+			out.Accumulate(rep.queue.stats)
+		}
+	}
+	return out
+}
+
 // HotCached counts entries currently cached across the client's cores.
 func (cli *Client) HotCached() int {
 	n := 0
@@ -535,9 +599,7 @@ func (cli *Client) HotCached() int {
 }
 
 func (cli *Client) getFrom(c *event.Ctx, key []byte, reps []int, i int, missed []int, cb Callback) {
-	cli.rep(c).submit(c, reps[i], func(opaque uint32) []byte {
-		return memcached.BuildGet(key, opaque)
-	}, func(c *event.Ctx, r Response) {
+	cli.rep(c).submitRead(c, reps[i], key, func(c *event.Ctx, r Response) {
 		switch {
 		case r.OK():
 			if i > 0 {
@@ -843,6 +905,9 @@ type clientRep struct {
 	cli   *Client
 	mgr   *event.Manager
 	pools map[int]*backendPool
+	// queue is the core's read-submission queue (batch.go): every read
+	// passes through it, coalescing same-backend keys into rounds.
+	queue *readQueue
 	// hot is the core's hot-key sketch + cache (nil when disabled).
 	hot *hotKeyRep
 }
@@ -853,7 +918,10 @@ type backendPool struct {
 	next  int
 }
 
-// submit routes one request onto a pooled connection.
+// submit routes one request onto a pooled connection. Writes (and any
+// other always-answered op) go through here directly; reads go through
+// submitRead, which lands them here - via the coalescing queue - as
+// whole rounds.
 func (r *clientRep) submit(c *event.Ctx, backend int, build func(opaque uint32) []byte, cb Callback) {
 	if !r.cli.cl.Servable(backend) {
 		// The backend was evicted after this operation's replica set was
@@ -865,6 +933,12 @@ func (r *clientRep) submit(c *event.Ctx, backend int, build func(opaque uint32) 
 		}
 		return
 	}
+	r.connFor(c, backend).send(c, build, cb)
+}
+
+// connFor picks the pooled connection the next request to backend rides
+// on, dialing if the pool is below target size.
+func (r *clientRep) connFor(c *event.Ctx, backend int) *clientConn {
 	pool, ok := r.pools[backend]
 	if !ok {
 		pool = &backendPool{}
@@ -887,7 +961,7 @@ func (r *clientRep) submit(c *event.Ctx, backend int, build func(opaque uint32) 
 		cc = pool.conns[pool.next%len(pool.conns)]
 		pool.next++
 	}
-	cc.send(c, build, cb)
+	return cc
 }
 
 // dropBackend aborts every pooled connection to an evicted backend,
@@ -953,6 +1027,14 @@ type clientConn struct {
 }
 
 func (cc *clientConn) send(c *event.Ctx, build func(opaque uint32) []byte, cb Callback) {
+	cc.transmit(c, build(cc.register(c, cb)))
+}
+
+// register allocates an opaque for one request, installs its callback
+// and timeout timer, and returns the opaque for the caller to encode.
+// Splitting registration from transmission is what lets sendRound stamp
+// a whole GETQ round's opaques before writing one coalesced packet.
+func (cc *clientConn) register(c *event.Ctx, cb Callback) uint32 {
 	opaque := cc.nextOpaque
 	cc.nextOpaque++
 	op := inflightOp{cb: cb}
@@ -969,7 +1051,12 @@ func (cc *clientConn) send(c *event.Ctx, build func(opaque uint32) []byte, cb Ca
 		})
 	}
 	cc.inflight[opaque] = op
-	pkt := build(opaque)
+	return opaque
+}
+
+// transmit writes one packet (one request, or one coalesced round),
+// queueing it if the connection is still handshaking.
+func (cc *clientConn) transmit(c *event.Ctx, pkt []byte) {
 	if !cc.connected {
 		cc.pendingTx = append(cc.pendingTx, pkt)
 		return

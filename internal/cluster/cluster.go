@@ -60,6 +60,10 @@ type Cluster struct {
 	Sys      *hosted.System
 	Backends []*Backend
 	Ring     *Ring
+	// Frontends is the hosted tier: node 0's frontend plus any extras
+	// added by AddFrontend, each typically running its own client Ebb
+	// and load source.
+	Frontends []*hosted.Node
 	// Replicas is the deployment's replication factor R. Writes go to
 	// all R replicas and ack on a majority quorum; reads prefer the
 	// primary and fail over along the successor list.
@@ -159,6 +163,7 @@ func NewCluster(backends int, opt Options) *Cluster {
 		newStore: opt.Store,
 		Audit:    opt.Audit,
 	}
+	cl.Frontends = []*hosted.Node{cl.Sys.Frontend()}
 	if cl.HotWrite.Enable {
 		cl.HotWrite = cl.HotWrite.WithDefaults()
 		cl.writeSketch = newCMSketch(cl.HotWrite.SketchWidth, cl.HotWrite.SketchDepth)
@@ -195,6 +200,17 @@ func (cl *Cluster) AddBackend(cores int) *Backend {
 	cl.decommissioned = append(cl.decommissioned, false)
 	cl.Ring.Add(len(cl.Backends) - 1)
 	return b
+}
+
+// AddFrontend boots one more hosted (GPOS) node for the frontend tier
+// and returns it. The new node serves no shard and joins no ring - like
+// node 0 it is pure client tier, but unlike node 0 it owns no Ebb id
+// allocation. The FrontendScaling experiment runs one client Ebb and
+// one load source per frontend.
+func (cl *Cluster) AddFrontend(cores int) *hosted.Node {
+	node := cl.Sys.AddHostedNode(cores)
+	cl.Frontends = append(cl.Frontends, node)
+	return node
 }
 
 // AddLoadGenerator boots an extra native node that serves nothing - a

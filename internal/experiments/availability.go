@@ -128,6 +128,16 @@ func (a clusterKV) Set(c *event.Ctx, key, value []byte, done func(c *event.Ctx, 
 	a.cli.Set(c, key, value, 0, func(c *event.Ctx, r cluster.Response) { done(c, outcome(r)) })
 }
 
+func (a clusterKV) GetMulti(c *event.Ctx, keys [][]byte, done func(c *event.Ctx, outs []load.OpOutcome)) {
+	a.cli.GetMulti(c, keys, func(c *event.Ctx, rs []cluster.Response) {
+		outs := make([]load.OpOutcome, len(rs))
+		for i, r := range rs {
+			outs[i] = outcome(r)
+		}
+		done(c, outs)
+	})
+}
+
 // Availability boots a replicated cluster with health monitoring,
 // drives the ETC workload through the frontend's client Ebb, kills a
 // backend mid-measurement (and optionally revives it), and reports

@@ -145,6 +145,15 @@ func (s *System) AddNativeNode(cores int) *Node {
 	return s.addNode(false, cores)
 }
 
+// AddHostedNode boots an additional hosted (GPOS) node: a second
+// frontend-tier process paying the same syscall-priced networking as
+// node 0. Ebb id allocation stays with node 0; extra hosted nodes are
+// peers on the data path only, which is all a scaled frontend tier
+// needs.
+func (s *System) AddHostedNode(cores int) *Node {
+	return s.addNode(true, cores)
+}
+
 // Frontend returns the hosted node.
 func (s *System) Frontend() *Node { return s.Nodes[0] }
 
@@ -164,6 +173,9 @@ func (s *System) addNode(frontend bool, cores int) *Node {
 	name := fmt.Sprintf("native-%d", id)
 	if frontend {
 		name = "hosted-frontend"
+		if id > 0 {
+			name = fmt.Sprintf("hosted-%d", id)
+		}
 	}
 	cfg := machine.DefaultConfig(name, cores)
 	m := machine.New(s.K, cfg)

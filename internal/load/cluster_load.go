@@ -26,6 +26,15 @@ type KVClient interface {
 	Set(c *event.Ctx, key, value []byte, done func(c *event.Ctx, o OpOutcome))
 }
 
+// KVBatchClient is a KVClient that can read several keys as one batch.
+// When ClusterLoadConfig.MultiGet > 1 and the client implements it,
+// read arrivals are issued through GetMulti; outs is index-aligned with
+// keys.
+type KVBatchClient interface {
+	KVClient
+	GetMulti(c *event.Ctx, keys [][]byte, done func(c *event.Ctx, outs []OpOutcome))
+}
+
 // ChaosEvent is a scheduled fault (or any side effect) injected during
 // a measured run; At is relative to measurement start.
 type ChaosEvent struct {
@@ -52,6 +61,13 @@ type ClusterLoadConfig struct {
 	// StatsTopK is how many keys the per-key frequency summary keeps
 	// (default DefaultStatsTopK).
 	StatsTopK int
+	// MultiGet, when > 1, turns each read arrival into a batch of that
+	// many keys (the first from NextOp, the rest drawn from the same
+	// popularity distribution), issued through KVBatchClient.GetMulti
+	// when the client supports it and as independent Gets otherwise.
+	// Every key scores as one operation, so throughput stays comparable
+	// with single-key runs.
+	MultiGet int
 }
 
 // LoadBucket is one timeline slot of a measured run.
@@ -90,6 +106,10 @@ type ClusterLoadResult struct {
 	// Keys is the measured window's per-key frequency summary (the
 	// offered hot-key share).
 	Keys KeyStats
+	// PerSource is each load source's completed-operation count (one
+	// entry per frontend in a RunClusterLoadMulti run; a single entry
+	// for RunClusterLoad).
+	PerSource []uint64
 }
 
 // WindowStats aggregates the timeline buckets fully inside [from, to)
@@ -118,13 +138,22 @@ func (r ClusterLoadResult) WindowStats(from, to sim.Time) (rps, hitRate float64)
 	return rps, hitRate
 }
 
+// loadSource is one frontend's arrival process: its own client, cores,
+// and RNG, offering an equal slice of the target rate.
+type loadSource struct {
+	kv        KVClient
+	mgrs      []*event.Manager
+	arrRng    *sim.Rng
+	rate      float64
+	completed uint64
+}
+
 // clusterLoad is one running generator.
 type clusterLoad struct {
 	cfg       ClusterLoadConfig
 	work      *Workload
-	kv        KVClient
+	sources   []*loadSource
 	rec       *sim.Recorder
-	arrRng    *sim.Rng
 	keyFreq   *keyCounter
 	measStart sim.Time
 	measEnd   sim.Time
@@ -144,6 +173,18 @@ type clusterLoad struct {
 // failover. cfg.Events inject faults mid-measurement, which is how the
 // availability experiment kills a backend under load.
 func RunClusterLoad(rt appnet.Runtime, kv KVClient, cfg ClusterLoadConfig) ClusterLoadResult {
+	return RunClusterLoadMulti([]appnet.Runtime{rt}, []KVClient{kv}, cfg)
+}
+
+// RunClusterLoadMulti is RunClusterLoad over a frontend tier: one load
+// source per (runtime, client) pair, each offering TargetRPS/N Poisson
+// arrivals from its own cores through its own client Ebb, all sharing
+// one workload and scored into one aggregated timeline. All runtimes
+// must live on one simulation kernel.
+func RunClusterLoadMulti(rts []appnet.Runtime, kvs []KVClient, cfg ClusterLoadConfig) ClusterLoadResult {
+	if len(rts) == 0 || len(rts) != len(kvs) {
+		panic("load: RunClusterLoadMulti needs one runtime per client")
+	}
 	if cfg.ETC.KeySpace == 0 {
 		cfg.ETC = DefaultETC()
 	}
@@ -151,24 +192,30 @@ func RunClusterLoad(rt appnet.Runtime, kv KVClient, cfg ClusterLoadConfig) Clust
 		cfg.Bucket = cfg.Duration / 50
 	}
 	m := &clusterLoad{
-		cfg:    cfg,
-		work:   NewWorkload(cfg.ETC, cfg.Seed),
-		kv:     kv,
-		rec:    sim.NewRecorder(int(cfg.TargetRPS * float64(cfg.Duration) / 1e9)),
-		arrRng: sim.NewRng(cfg.Seed ^ 0x9e3779b9),
+		cfg:  cfg,
+		work: NewWorkload(cfg.ETC, cfg.Seed),
+		rec:  sim.NewRecorder(int(cfg.TargetRPS * float64(cfg.Duration) / 1e9)),
+	}
+	for i := range rts {
+		m.sources = append(m.sources, &loadSource{
+			kv:     kvs[i],
+			mgrs:   rts[i].Mgrs(),
+			arrRng: sim.NewRng(cfg.Seed ^ 0x9e3779b9 ^ uint64(i)*0xbf58476d1ce4e5b9),
+			rate:   cfg.TargetRPS / float64(len(rts)),
+		})
 	}
 	m.keyFreq = newKeyCounter(len(m.work.Keys))
-	k := rt.Kernel()
-	mgrs := rt.Mgrs()
+	k := rts[0].Kernel()
 
-	// Prepopulate through the client: every key lands on its full
+	// Prepopulate through the first client: every key lands on its full
 	// replica set via acknowledged quorum writes, so reads during later
 	// faults have live replicas to fail over to.
 	populated := 0
+	pop := m.sources[0]
 	for i := range m.work.Keys {
 		i := i
-		mgrs[i%len(mgrs)].Spawn(func(c *event.Ctx) {
-			m.kv.Set(c, m.work.Keys[i], m.work.Values[i], func(c *event.Ctx, o OpOutcome) {
+		pop.mgrs[i%len(pop.mgrs)].Spawn(func(c *event.Ctx) {
+			pop.kv.Set(c, m.work.Keys[i], m.work.Values[i], func(c *event.Ctx, o OpOutcome) {
 				if o.OK {
 					populated++
 				}
@@ -192,9 +239,15 @@ func RunClusterLoad(rt appnet.Runtime, kv KVClient, cfg ClusterLoadConfig) Clust
 		k.At(m.measStart+ev.At, ev.Fn)
 	}
 
-	m.scheduleNextArrival(k, mgrs)
+	for _, src := range m.sources {
+		m.scheduleNextArrival(k, src)
+	}
 	k.RunUntil(m.measEnd + 20*sim.Millisecond)
 
+	perSource := make([]uint64, len(m.sources))
+	for i, src := range m.sources {
+		perSource[i] = src.completed
+	}
 	return ClusterLoadResult{
 		TargetRPS:    cfg.TargetRPS,
 		AchievedRPS:  float64(m.completed) / (float64(cfg.Duration) / 1e9),
@@ -209,13 +262,14 @@ func RunClusterLoad(rt appnet.Runtime, kv KVClient, cfg ClusterLoadConfig) Clust
 		MeasuredFrom: m.measStart,
 		Populated:    populated,
 		Keys:         m.keyFreq.stats(cfg.StatsTopK),
+		PerSource:    perSource,
 	}
 }
 
-// scheduleNextArrival generates the open-loop Poisson process, spreading
-// submissions round-robin across the client node's cores.
-func (m *clusterLoad) scheduleNextArrival(k *sim.Kernel, mgrs []*event.Manager) {
-	gap := m.arrRng.Exp(1e9 / m.cfg.TargetRPS)
+// scheduleNextArrival generates one source's open-loop Poisson process,
+// spreading submissions round-robin across that source's cores.
+func (m *clusterLoad) scheduleNextArrival(k *sim.Kernel, src *loadSource) {
+	gap := src.arrRng.Exp(1e9 / src.rate)
 	k.After(sim.Time(gap), func() {
 		if k.Now() >= m.measEnd {
 			return
@@ -225,21 +279,57 @@ func (m *clusterLoad) scheduleNextArrival(k *sim.Kernel, mgrs []*event.Manager) 
 		if arrival >= m.measStart {
 			m.keyFreq.note(keyIdx)
 		}
-		mgr := mgrs[int(arrival/sim.Microsecond)%len(mgrs)]
-		mgr.Spawn(func(c *event.Ctx) {
-			done := func(c *event.Ctx, o OpOutcome) { m.record(c, arrival, isGet, o) }
-			if isGet {
-				m.kv.Get(c, m.work.Keys[keyIdx], done)
-			} else {
-				m.kv.Set(c, m.work.Keys[keyIdx], m.work.newValue(), done)
+		mgr := src.mgrs[int(arrival/sim.Microsecond)%len(src.mgrs)]
+		if isGet && m.cfg.MultiGet > 1 {
+			idxs := make([]int, m.cfg.MultiGet)
+			idxs[0] = keyIdx
+			for j := 1; j < len(idxs); j++ {
+				idxs[j] = m.work.NextKey()
+				if arrival >= m.measStart {
+					m.keyFreq.note(idxs[j])
+				}
 			}
-		})
-		m.scheduleNextArrival(k, mgrs)
+			mgr.Spawn(func(c *event.Ctx) { m.submitMulti(c, src, arrival, idxs) })
+		} else {
+			mgr.Spawn(func(c *event.Ctx) {
+				done := func(c *event.Ctx, o OpOutcome) { m.record(c, src, arrival, isGet, o) }
+				if isGet {
+					src.kv.Get(c, m.work.Keys[keyIdx], done)
+				} else {
+					src.kv.Set(c, m.work.Keys[keyIdx], m.work.newValue(), done)
+				}
+			})
+		}
+		m.scheduleNextArrival(k, src)
 	})
 }
 
+// submitMulti issues one multiget arrival: through the client's batched
+// GetMulti when it has one, as independent Gets otherwise (the per-op
+// baseline pays one round per key either way). Each key scores as its
+// own operation.
+func (m *clusterLoad) submitMulti(c *event.Ctx, src *loadSource, arrival sim.Time, idxs []int) {
+	keys := make([][]byte, len(idxs))
+	for j, idx := range idxs {
+		keys[j] = m.work.Keys[idx]
+	}
+	if bkv, ok := src.kv.(KVBatchClient); ok {
+		bkv.GetMulti(c, keys, func(c *event.Ctx, outs []OpOutcome) {
+			for _, o := range outs {
+				m.record(c, src, arrival, true, o)
+			}
+		})
+		return
+	}
+	for _, key := range keys {
+		src.kv.Get(c, key, func(c *event.Ctx, o OpOutcome) {
+			m.record(c, src, arrival, true, o)
+		})
+	}
+}
+
 // record scores one completion into the timeline bucket it finished in.
-func (m *clusterLoad) record(c *event.Ctx, arrival sim.Time, isGet bool, o OpOutcome) {
+func (m *clusterLoad) record(c *event.Ctx, src *loadSource, arrival sim.Time, isGet bool, o OpOutcome) {
 	now := c.Now()
 	if arrival < m.measStart || now > m.measEnd {
 		return
@@ -261,6 +351,7 @@ func (m *clusterLoad) record(c *event.Ctx, arrival sim.Time, isGet bool, o OpOut
 	}
 	m.completed++
 	b.Completed++
+	src.completed++
 	if isGet {
 		m.hits++
 		b.Hits++

@@ -94,6 +94,10 @@ func (w *Workload) NextOp() (int, bool) {
 	return w.zipf.Next(), w.rng.Float64() < w.cfg.GetRatio
 }
 
+// NextKey samples one more key index from the popularity distribution -
+// how a multiget arrival picks its remaining keys.
+func (w *Workload) NextKey() int { return w.zipf.Next() }
+
 // MutilateConfig drives one load point.
 type MutilateConfig struct {
 	Connections int
